@@ -1,0 +1,96 @@
+//===- fig_qpg_sparsity.cpp - Section 6.2 QPG size claim --------------------------===//
+//
+// Section 6.2: "Preliminary studies show that the QPG is usually quite
+// small compared to the original CFG, averaging less than 10% the size of
+// the (statement-level) CFG." We expand every corpus procedure to a
+// statement-level CFG (one instruction per node, the paper's granularity),
+// sweep single-expression availability instances, and report QPG/CFG node
+// ratios. We also build Choi-Cytron-Ferrante sparse evaluation graphs for
+// the same instances — the paper's related-work comparison: SEGs are
+// "in general smaller than our quick propagation graphs. However, they are
+// more costly to build" (they need dominance frontiers; the QPG reuses the
+// PST).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/core/ProgramStructureTree.h"
+#include "pst/dataflow/Problems.h"
+#include "pst/dataflow/Qpg.h"
+#include "pst/dataflow/Seg.h"
+#include "pst/support/TableWriter.h"
+#include "pst/workload/Corpus.h"
+
+#include <iostream>
+
+using namespace pst;
+
+int main() {
+  std::cout << "=== QPG sparsity (statement-level CFGs): quick propagation "
+               "graph vs CFG vs SEG ===\n\n";
+  auto Corpus = generatePaperCorpus(/*Seed=*/1994);
+
+  uint64_t Instances = 0;
+  double QpgRatioSum = 0, SegRatioSum = 0;
+  uint64_t Under10 = 0;
+  uint64_t TotalQpg = 0, TotalSeg = 0, TotalCfg = 0;
+
+  for (const auto &C : Corpus) {
+    LoweredFunction F = expandToStatementLevel(C.Fn);
+    ProgramStructureTree T = ProgramStructureTree::build(F.Graph);
+    DomTree DT = DomTree::buildIterative(F.Graph);
+    DominanceFrontiers DF(F.Graph, DT);
+
+    // The paper-style "x + y" instances: simple binary expressions over
+    // variables, a handful per procedure to bound runtime.
+    std::vector<std::string> Keys;
+    for (std::string &K : expressionKeys(F)) {
+      bool Simple = !K.empty() && K.front() == '(' &&
+                    K.find('(', 1) == std::string::npos;
+      bool HasVar = K.find_first_of(
+                        "abcdefghijklmnopqrstuvwxyz") != std::string::npos;
+      if (Simple && HasVar)
+        Keys.push_back(std::move(K));
+    }
+    size_t Step = std::max<size_t>(1, Keys.size() / 6);
+    for (size_t I = 0; I < Keys.size(); I += Step) {
+      BitVectorProblem P = makeSingleExprAvailability(F, Keys[I]);
+      Qpg Q = buildQpg(F.Graph, T, P);
+      Seg S = buildSeg(F.Graph, DT, DF, P);
+      double QpgRatio = static_cast<double>(Q.numNodes()) /
+                        static_cast<double>(F.Graph.numNodes());
+      double SegRatio = static_cast<double>(S.numNodes()) /
+                        static_cast<double>(F.Graph.numNodes());
+      QpgRatioSum += QpgRatio;
+      SegRatioSum += SegRatio;
+      TotalQpg += Q.numNodes();
+      TotalSeg += S.numNodes();
+      TotalCfg += F.Graph.numNodes();
+      Under10 += QpgRatio < 0.10;
+      ++Instances;
+    }
+  }
+
+  TableWriter T;
+  T.setHeader({"metric", "value"});
+  T.addRow({"single-expression instances", std::to_string(Instances)});
+  T.addRow({"mean QPG / stmt-level CFG %",
+            TableWriter::fmt(100.0 * QpgRatioSum /
+                                 static_cast<double>(Instances), 1)});
+  T.addRow({"aggregate QPG / stmt-level CFG %",
+            TableWriter::fmt(100.0 * static_cast<double>(TotalQpg) /
+                                 static_cast<double>(TotalCfg), 1)});
+  T.addRow({"instances under 10% %",
+            TableWriter::fmt(100.0 * static_cast<double>(Under10) /
+                                 static_cast<double>(Instances), 1)});
+  T.addRow({"mean SEG / stmt-level CFG % [CCF91]",
+            TableWriter::fmt(100.0 * SegRatioSum /
+                                 static_cast<double>(Instances), 1)});
+  T.addRow({"aggregate SEG / stmt-level CFG %",
+            TableWriter::fmt(100.0 * static_cast<double>(TotalSeg) /
+                                 static_cast<double>(TotalCfg), 1)});
+  T.print(std::cout);
+
+  std::cout << "\npaper: QPG averages under 10% of the statement-level "
+               "CFG; SEGs are smaller still but costlier to build\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+# Benchmark binaries: one per table/figure/claim of the paper. Included
+# from the top-level CMakeLists so that ${CMAKE_BINARY_DIR}/bench contains
+# exactly the bench executables.
+
+function(pst_add_bench name)
+  add_executable(${name} ${PROJECT_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    pst_workload pst_dataflow pst_ssa pst_cdg pst_lang pst_core
+    pst_cycleequiv pst_dom pst_graph pst_support)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+function(pst_add_timing_bench name)
+  pst_add_bench(${name})
+  target_link_libraries(${name} PRIVATE benchmark::benchmark)
+endfunction()
+
+# Structural reproductions (print the paper's rows/series).
+pst_add_bench(table1_corpus)
+pst_add_bench(fig5_depth_histogram)
+pst_add_bench(fig6_size_vs_procsize)
+pst_add_bench(fig7_region_kinds)
+pst_add_bench(fig9_max_region_size)
+pst_add_bench(fig10_phi_sparsity)
+pst_add_bench(fig_qpg_sparsity)
+
+# Timing comparisons (google-benchmark).
+pst_add_timing_bench(time_cycleequiv_vs_domtree)
+pst_add_timing_bench(time_control_regions)
+pst_add_timing_bench(time_ssa_placement)
+pst_add_timing_bench(time_dataflow)

@@ -1,0 +1,208 @@
+//===- pstool.cpp - Command-line driver over the whole library ------------------===//
+//
+// A small analysis driver: reads either MiniLang source or a textual CFG
+// (see pst/graph/CfgIO.h) and runs the requested analyses.
+//
+// Usage:
+//   pstool [options] [input-file]
+//     --cfg           input is a textual CFG instead of MiniLang
+//     --pst           print the program structure tree (default)
+//     --regions       print control regions
+//     --dom           print the dominator tree (and verify the PST-based
+//                     divide-and-conquer builder against it)
+//     --loops         print the natural loop forest
+//     --intervals     print the interval partition and reducibility
+//     --dot           dump Graphviz of the CFG
+//     --all           everything above
+//
+// Without an input file, a built-in demo program is analyzed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/cdg/ControlRegions.h"
+#include "pst/core/ProgramStructureTree.h"
+#include "pst/core/PstDominators.h"
+#include "pst/core/RegionAnalysis.h"
+#include "pst/dom/LoopInfo.h"
+#include "pst/graph/CfgAlgorithms.h"
+#include "pst/graph/CfgIO.h"
+#include "pst/graph/Intervals.h"
+#include "pst/lang/Lower.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pst;
+
+namespace {
+
+struct Options {
+  bool CfgInput = false;
+  bool Pst = false, Regions = false, Dom = false, Loops = false;
+  bool Intervals = false, Dot = false;
+  std::string InputFile;
+};
+
+const char *DemoSource = R"(
+func demo(n) {
+  var i = 0;
+  var sum = 0;
+  while (i < n) {
+    if (i % 2 == 0) { sum = sum + i; } else { sum = sum - 1; }
+    i = i + 1;
+  }
+  return sum;
+}
+)";
+
+void analyzeCfg(const std::string &Name, const Cfg &G, const Options &Opt) {
+  std::cout << "\n======== " << Name << " (" << G.numNodes() << " nodes, "
+            << G.numEdges() << " edges) ========\n";
+
+  ProgramStructureTree T = ProgramStructureTree::build(G);
+  if (Opt.Pst) {
+    std::cout << "\n-- program structure tree --\n"
+              << formatPst(G, T);
+  }
+  if (Opt.Regions) {
+    ControlRegionsResult CR = computeControlRegionsLinear(G);
+    std::cout << "\n-- control regions (" << CR.NumClasses << ") --\n";
+    for (uint32_t C = 0; C < CR.NumClasses; ++C) {
+      std::cout << "  {";
+      bool First = true;
+      for (NodeId N = 0; N < G.numNodes(); ++N)
+        if (CR.NodeClass[N] == C) {
+          std::cout << (First ? "" : ", ") << G.nodeName(N);
+          First = false;
+        }
+      std::cout << "}\n";
+    }
+  }
+  if (Opt.Dom) {
+    DomTree DT = DomTree::buildIterative(G);
+    DomTree DC = buildDominatorsViaPst(G, T);
+    std::cout << "\n-- dominator tree (idom per node) --\n";
+    bool AllMatch = true;
+    for (NodeId N = 0; N < G.numNodes(); ++N) {
+      std::cout << "  idom(" << G.nodeName(N) << ") = "
+                << (DT.idom(N) == InvalidNode ? std::string("<none>")
+                                              : G.nodeName(DT.idom(N)))
+                << "\n";
+      AllMatch &= DT.idom(N) == DC.idom(N);
+    }
+    std::cout << "  [divide-and-conquer PST builder "
+              << (AllMatch ? "matches" : "MISMATCHES") << "]\n";
+  }
+  if (Opt.Loops) {
+    DomTree DT = DomTree::buildIterative(G);
+    LoopInfo LI(G, DT);
+    std::cout << "\n-- natural loops (" << LI.numLoops() << ") --\n";
+    for (LoopId L = 0; L < LI.numLoops(); ++L) {
+      const auto &Loop = LI.loop(L);
+      std::cout << "  depth " << Loop.Depth << " header "
+                << G.nodeName(Loop.Header) << ": {";
+      for (size_t I = 0; I < Loop.Nodes.size(); ++I)
+        std::cout << (I ? ", " : "") << G.nodeName(Loop.Nodes[I]);
+      std::cout << "}\n";
+    }
+    if (!LI.irreducibleEdges().empty())
+      std::cout << "  " << LI.irreducibleEdges().size()
+                << " irreducible retreating edge(s)\n";
+  }
+  if (Opt.Intervals) {
+    IntervalPartition P = computeIntervals(G);
+    std::cout << "\n-- intervals (" << P.Intervals.size() << ") --\n";
+    for (const auto &I : P.Intervals) {
+      std::cout << "  I(" << G.nodeName(I.Header) << ") = {";
+      for (size_t K = 0; K < I.Nodes.size(); ++K)
+        std::cout << (K ? ", " : "") << G.nodeName(I.Nodes[K]);
+      std::cout << "}\n";
+    }
+    std::cout << "  graph is "
+              << (isReducibleByIntervals(G) ? "reducible" : "irreducible")
+              << "\n";
+  }
+  if (Opt.Dot) {
+    std::cout << "\n-- graphviz --\n";
+    printDot(G, std::cout, Name);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--cfg")
+      Opt.CfgInput = true;
+    else if (A == "--pst")
+      Opt.Pst = true;
+    else if (A == "--regions")
+      Opt.Regions = true;
+    else if (A == "--dom")
+      Opt.Dom = true;
+    else if (A == "--loops")
+      Opt.Loops = true;
+    else if (A == "--intervals")
+      Opt.Intervals = true;
+    else if (A == "--dot")
+      Opt.Dot = true;
+    else if (A == "--all")
+      Opt.Pst = Opt.Regions = Opt.Dom = Opt.Loops = Opt.Intervals = true;
+    else if (!A.empty() && A[0] == '-') {
+      std::cerr << "error: unknown option '" << A << "'\n";
+      return 1;
+    } else {
+      Opt.InputFile = A;
+    }
+  }
+  if (!Opt.Pst && !Opt.Regions && !Opt.Dom && !Opt.Loops &&
+      !Opt.Intervals && !Opt.Dot)
+    Opt.Pst = true;
+
+  std::string Input;
+  if (Opt.InputFile.empty()) {
+    Input = DemoSource;
+    std::cout << "(no input file; analyzing the built-in demo)\n";
+  } else {
+    std::ifstream In(Opt.InputFile);
+    if (!In) {
+      std::cerr << "error: cannot open '" << Opt.InputFile << "'\n";
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Input = SS.str();
+  }
+
+  if (Opt.CfgInput) {
+    std::string Error;
+    auto G = parseCfgText(Input, &Error);
+    if (!G) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    std::string Why;
+    if (!validateCfg(*G, &Why)) {
+      std::cerr << "error: invalid CFG: " << Why << "\n";
+      return 1;
+    }
+    analyzeCfg("cfg", *G, Opt);
+    return 0;
+  }
+
+  std::vector<Diagnostic> Diags;
+  auto Fns = compile(Input, &Diags);
+  if (!Fns) {
+    for (const Diagnostic &D : Diags)
+      std::cerr << D.str() << "\n";
+    return 1;
+  }
+  for (const LoweredFunction &F : *Fns)
+    analyzeCfg(F.Name, F.Graph, Opt);
+  return 0;
+}

@@ -1,0 +1,112 @@
+//===- pst/core/ProgramStructureTree.h - The PST ----------------*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical SESE regions and the program structure tree (Section 2/3.6).
+///
+/// A SESE region is an ordered edge pair (a, b) with a dominating b, b
+/// postdominating a, and a, b cycle equivalent (Definition 3). *Canonical*
+/// regions are the smallest region each edge opens or closes (Definition
+/// 5); by Theorem 1 they never partially overlap, so they form a tree under
+/// containment — the PST.
+///
+/// Construction (Section 3.6): compute edge cycle equivalence classes on
+/// G + (end -> start); within a class, edges are totally ordered by
+/// dominance and a directed DFS from entry visits them in that order, so
+/// consecutive pairs are the canonical regions. The same DFS discovers
+/// nesting: entering a region's entry edge makes it the current region and
+/// the previous current region its parent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_CORE_PROGRAMSTRUCTURETREE_H
+#define PST_CORE_PROGRAMSTRUCTURETREE_H
+
+#include "pst/cycleequiv/CycleEquiv.h"
+#include "pst/graph/Cfg.h"
+
+#include <vector>
+
+namespace pst {
+
+/// Dense index of a PST region.
+using RegionId = uint32_t;
+/// Sentinel for "no region".
+inline constexpr RegionId InvalidRegion = ~RegionId(0);
+
+/// One canonical SESE region (or the synthetic root).
+struct SeseRegion {
+  /// Entry/exit edges; InvalidEdge for the synthetic root region.
+  EdgeId EntryEdge = InvalidEdge;
+  EdgeId ExitEdge = InvalidEdge;
+  /// Parent region; InvalidRegion for the root.
+  RegionId Parent = InvalidRegion;
+  /// Immediately nested regions, in entry-edge traversal order.
+  std::vector<RegionId> Children;
+  /// Nesting depth; the root has depth 0, top-level regions depth 1.
+  uint32_t Depth = 0;
+};
+
+/// The program structure tree of one CFG.
+///
+/// Region 0 is always a synthetic root that represents the whole procedure
+/// (it has no entry/exit edges); real canonical regions are 1..numRegions-1.
+class ProgramStructureTree {
+public:
+  /// Builds the PST of \p G (which must satisfy \c validateCfg) in O(N + E).
+  static ProgramStructureTree build(const Cfg &G);
+
+  RegionId root() const { return 0; }
+  uint32_t numRegions() const { return static_cast<uint32_t>(Regions.size()); }
+  /// Number of real canonical regions (excludes the synthetic root).
+  uint32_t numCanonicalRegions() const { return numRegions() - 1; }
+
+  const SeseRegion &region(RegionId R) const { return Regions[R]; }
+
+  /// Innermost region containing node \p N (Definition 6); never invalid
+  /// (the root contains everything).
+  RegionId regionOfNode(NodeId N) const { return NodeRegion[N]; }
+
+  /// Innermost region whose body contains edge \p E. By convention an entry
+  /// edge belongs to the region it opens and an exit edge to the region
+  /// that encloses the boundary (its region's parent, or the sequentially
+  /// following region when the edge also opens one).
+  RegionId regionOfEdge(EdgeId E) const { return EdgeRegion[E]; }
+
+  /// Region whose entry edge is \p E, or InvalidRegion.
+  RegionId regionEnteredBy(EdgeId E) const { return EntryOf[E]; }
+  /// Region whose exit edge is \p E, or InvalidRegion.
+  RegionId regionExitedBy(EdgeId E) const { return ExitOf[E]; }
+
+  /// Nodes whose *innermost* region is \p R (i.e. excluding nodes hidden
+  /// inside nested regions), in discovery order.
+  const std::vector<NodeId> &immediateNodes(RegionId R) const {
+    return ImmediateNodes[R];
+  }
+
+  /// All nodes contained in \p R, including those of nested regions.
+  std::vector<NodeId> allNodes(RegionId R) const;
+
+  /// True if \p Inner is \p Outer or nested (transitively) inside it.
+  bool contains(RegionId Outer, RegionId Inner) const;
+
+  /// The edge cycle equivalence classes the construction was based on.
+  const CycleEquivResult &cycleEquiv() const { return CE; }
+
+private:
+  std::vector<SeseRegion> Regions;
+  std::vector<RegionId> NodeRegion;
+  std::vector<RegionId> EdgeRegion;
+  std::vector<RegionId> EntryOf, ExitOf;
+  std::vector<std::vector<NodeId>> ImmediateNodes;
+  CycleEquivResult CE;
+};
+
+} // namespace pst
+
+#endif // PST_CORE_PROGRAMSTRUCTURETREE_H

@@ -1,0 +1,90 @@
+//===- pst/core/RegionAnalysis.h - Collapse & classify regions --*- C++ -*-===//
+//
+// Part of the PST library (see ProgramStructureTree.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Region bodies with nested regions collapsed to single quotient nodes,
+/// and the pattern classification behind the paper's Figure 7 ("a simple
+/// pattern-matching pass" identifying each region as a basic block, a case
+/// construct, a loop, a dag, or a cyclic unstructured region).
+///
+/// The collapsed body is the workhorse for every divide-and-conquer
+/// application in Section 6: per-region SSA placement treats a collapsed
+/// child as one statement, and the elimination dataflow solver summarizes a
+/// child region by one transfer function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_CORE_REGIONANALYSIS_H
+#define PST_CORE_REGIONANALYSIS_H
+
+#include "pst/core/ProgramStructureTree.h"
+#include "pst/graph/Cfg.h"
+
+#include <string>
+#include <vector>
+
+namespace pst {
+
+/// A region body where each immediately nested region is one node.
+struct CollapsedBody {
+  /// One quotient node: either an immediate CFG node of the region or a
+  /// collapsed child region.
+  struct QNode {
+    bool IsRegion = false;
+    NodeId Node = InvalidNode;     // Valid when !IsRegion.
+    RegionId Region = InvalidRegion; // Valid when IsRegion.
+  };
+
+  std::vector<QNode> Nodes;
+  /// Quotient edges (parallel edges preserved), each tagged with the CFG
+  /// edge it came from.
+  struct QEdge {
+    uint32_t Src = 0, Dst = 0;
+    EdgeId CfgEdge = InvalidEdge;
+  };
+  std::vector<QEdge> Edges;
+  /// Quotient index of the node the region's entry edge targets, and of
+  /// the node its exit edge leaves. For the root region these are the CFG
+  /// entry/exit.
+  uint32_t EntryQ = 0, ExitQ = 0;
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Nodes.size()); }
+};
+
+/// Builds the collapsed body of \p R. O(size of the body).
+CollapsedBody collapseRegion(const Cfg &G, const ProgramStructureTree &T,
+                             RegionId R);
+
+/// Region kinds for Figure 7. Kinds match the paper's buckets; IfThen and
+/// IfThenElse are reported separately and can be merged into the paper's
+/// implicit conditional bucket by callers.
+enum class RegionKind {
+  Block,              ///< Single quotient node, no edges.
+  IfThen,             ///< cond -> then -> join, cond -> join.
+  IfThenElse,         ///< cond -> {then, else} -> join.
+  Case,               ///< cond with >= 3 arms converging on one join.
+  Loop,               ///< Cyclic but reducible body.
+  Dag,                ///< Acyclic, none of the shapes above.
+  CyclicUnstructured, ///< Cyclic and irreducible.
+};
+
+/// Human-readable kind name ("block", "if-then", ...).
+const char *regionKindName(RegionKind K);
+
+/// Classifies the collapsed body of region \p R.
+RegionKind classifyRegion(const Cfg &G, const ProgramStructureTree &T,
+                          RegionId R);
+
+/// Figure 7's weight: the number of nested maximal SESE regions, with
+/// blocks weighing one ("an if-then-else has a weight of two").
+uint32_t regionWeight(const ProgramStructureTree &T, RegionId R);
+
+/// Renders the PST as an indented outline (for examples and debugging).
+std::string formatPst(const Cfg &G, const ProgramStructureTree &T);
+
+} // namespace pst
+
+#endif // PST_CORE_REGIONANALYSIS_H

@@ -1,0 +1,48 @@
+//===- pst/core/SeseOracle.h - Definition-level SESE oracle -----*- C++ -*-===//
+//
+// Part of the PST library (see ProgramStructureTree.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Brute-force implementations of Definitions 2/3/5/6 for cross-checking
+/// the linear-time pipeline on small graphs. Every predicate is a direct
+/// path-existence query; costs are polynomial and only suitable for graphs
+/// with tens of edges (which is what the property tests use).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_CORE_SESEORACLE_H
+#define PST_CORE_SESEORACLE_H
+
+#include "pst/graph/Cfg.h"
+
+#include <vector>
+
+namespace pst {
+
+/// True if some path from \p From to \p To avoids edge \p Avoid. The empty
+/// path counts when From == To.
+bool existsPathAvoidingEdge(const Cfg &G, NodeId From, NodeId To,
+                            EdgeId Avoid);
+
+/// Edge dominance (Definition 2 extended to edges): every path from entry
+/// that traverses \p B traverses \p A first.
+bool edgeDominatesBrute(const Cfg &G, EdgeId A, EdgeId B);
+
+/// Edge postdominance: every path that traverses \p A later traverses \p B.
+bool edgePostDominatesBrute(const Cfg &G, EdgeId B, EdgeId A);
+
+/// Definition 3: (A, B) is a SESE region of \p G.
+bool isSeseRegionBrute(const Cfg &G, EdgeId A, EdgeId B);
+
+/// Definition 6: node \p N is contained in region (A, B), i.e. A dominates
+/// N and B postdominates N.
+bool nodeInRegionBrute(const Cfg &G, EdgeId A, EdgeId B, NodeId N);
+
+/// All canonical SESE regions (Definition 5) as (entry, exit) pairs, sorted.
+std::vector<std::pair<EdgeId, EdgeId>> canonicalRegionsBrute(const Cfg &G);
+
+} // namespace pst
+
+#endif // PST_CORE_SESEORACLE_H

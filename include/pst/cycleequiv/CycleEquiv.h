@@ -1,0 +1,99 @@
+//===- pst/cycleequiv/CycleEquiv.h - Linear cycle equivalence ---*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's linear-time cycle equivalence algorithm (its Figure 4).
+///
+/// Two edges of a strongly connected graph are *cycle equivalent* iff every
+/// cycle contains both or neither (Definition 4). Theorem 2 shows that edges
+/// a, b of a CFG enclose a SESE region iff they are cycle equivalent in
+/// S = G + (end -> start); Theorem 3 shows cycle equivalence in S equals
+/// cycle equivalence in the *undirected* multigraph of S.
+///
+/// The algorithm runs one undirected DFS, then processes nodes in reverse
+/// preorder maintaining, per node, a *bracket list*: the backedges spanning
+/// the tree edge into the node. Bracket sets are never compared wholesale;
+/// each is compactly named by the pair <topmost bracket, set size>
+/// (Theorem 6), with *capping backedges* inserted at branch nodes to keep
+/// the name well-defined (Lemma 2). Every operation on the doubly-linked
+/// bracket lists is O(1), giving O(E) total.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_CYCLEEQUIV_CYCLEEQUIV_H
+#define PST_CYCLEEQUIV_CYCLEEQUIV_H
+
+#include "pst/graph/Cfg.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace pst {
+
+/// Sentinel class id meaning "not yet assigned".
+inline constexpr uint32_t UndefinedClass = ~uint32_t(0);
+
+/// Edge partition produced by the cycle equivalence algorithm.
+struct CycleEquivResult {
+  /// Class of each edge. Indexed by EdgeId; if the algorithm added the
+  /// artificial return edge, its class is the extra last entry.
+  std::vector<uint32_t> EdgeClass;
+  /// Number of distinct classes.
+  uint32_t NumClasses = 0;
+  /// True if EdgeClass has the extra return-edge entry.
+  bool HasReturnEdge = false;
+
+  uint32_t classOf(EdgeId E) const {
+    assert(E < EdgeClass.size() && "edge out of range");
+    return EdgeClass[E];
+  }
+
+  /// Class of the artificial end->start edge.
+  uint32_t returnEdgeClass() const {
+    assert(HasReturnEdge && "no return edge was added");
+    return EdgeClass.back();
+  }
+};
+
+/// Computes edge cycle equivalence classes.
+///
+/// If \p AddReturnEdge is true (the default), the artificial end -> start
+/// edge is added internally, making the graph strongly connected as Theorem
+/// 2 requires; \p G must then be a valid CFG. If false, \p G itself must
+/// already be strongly connected (used for the node-expanded graph in the
+/// control-region computation).
+///
+/// Runs in O(N + E) time and space.
+CycleEquivResult computeCycleEquivalence(const Cfg &G,
+                                         bool AddReturnEdge = true);
+
+/// Advanced entry point: cycle equivalence over a bare endpoint list.
+///
+/// Since Theorem 3 lets the algorithm work on the undirected multigraph,
+/// callers that derive a graph on the fly (e.g. the control-region
+/// computation, which conceptually works on the node-expanded T(S) but
+/// need not materialize it — the paper notes "the savings in space and
+/// time over working with the explicitly transformed graph are
+/// significant") can pass endpoints directly and skip building a Cfg.
+struct UndirectedGraphView {
+  uint32_t NumNodes = 0;
+  /// DFS root (any node of the connected graph).
+  NodeId Root = 0;
+  /// Edge I connects Endpoints[I].first and Endpoints[I].second.
+  std::vector<std::pair<NodeId, NodeId>> Endpoints;
+};
+
+/// Runs the Figure-4 algorithm on \p View. The input must be connected and
+/// bridgeless (e.g. derived from a strongly connected digraph). The result
+/// has one class entry per endpoint pair and HasReturnEdge = false.
+CycleEquivResult computeCycleEquivalenceRaw(const UndirectedGraphView &View);
+
+} // namespace pst
+
+#endif // PST_CYCLEEQUIV_CYCLEEQUIV_H

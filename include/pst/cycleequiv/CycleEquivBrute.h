@@ -1,0 +1,49 @@
+//===- pst/cycleequiv/CycleEquivBrute.h - Definition oracle -----*- C++ -*-===//
+//
+// Part of the PST library (see CycleEquiv.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A brute-force cycle equivalence oracle straight from Definition 4, plus
+/// partition utilities. Used to cross-check the linear-time algorithm in
+/// property tests and as the "slow algorithm" baseline (the paper's Section
+/// 3.3 discusses why the naive approach is quadratic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_CYCLEEQUIV_CYCLEEQUIVBRUTE_H
+#define PST_CYCLEEQUIV_CYCLEEQUIVBRUTE_H
+
+#include "pst/cycleequiv/CycleEquiv.h"
+#include "pst/graph/Cfg.h"
+
+#include <vector>
+
+namespace pst {
+
+/// Returns a copy of \p G with the artificial end -> start edge appended
+/// (it gets edge id \c G.numEdges()). The result is strongly connected when
+/// \p G is a valid CFG.
+Cfg withReturnEdge(const Cfg &G);
+
+/// True if some directed cycle of \p S contains edge \p Through but not
+/// edge \p Avoiding. O(N + E) per query.
+bool existsCycleThroughAvoiding(const Cfg &S, EdgeId Through, EdgeId Avoiding);
+
+/// Definition-4 check: edges \p A and \p B of (strongly connected) \p S are
+/// cycle equivalent iff no cycle separates them.
+bool cycleEquivalentBrute(const Cfg &S, EdgeId A, EdgeId B);
+
+/// Computes the full edge partition by pairwise Definition-4 checks.
+/// O(E^2 (N + E)); for small graphs and testing only.
+CycleEquivResult computeCycleEquivalenceBrute(const Cfg &G,
+                                              bool AddReturnEdge = true);
+
+/// Renumbers \p Classes so equal partitions compare equal: each class is
+/// renamed to the index of its first occurrence.
+std::vector<uint32_t> canonicalizePartition(const std::vector<uint32_t> &Classes);
+
+} // namespace pst
+
+#endif // PST_CYCLEEQUIV_CYCLEEQUIVBRUTE_H

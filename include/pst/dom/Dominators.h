@@ -1,0 +1,112 @@
+//===- pst/dom/Dominators.h - (Post)dominator trees -------------*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and postdominator trees.
+///
+/// Two construction algorithms are provided and cross-checked in tests:
+///  * \c buildIterative - the Cooper/Harvey/Kennedy two-finger intersection
+///    over reverse postorder (simple, near-linear in practice).
+///  * \c buildLengauerTarjan - the classic LT79 algorithm with path
+///    compression, which is the baseline the paper benchmarks its cycle
+///    equivalence algorithm against ("runs faster than Lengauer and
+///    Tarjan's algorithm for finding dominators").
+///
+/// Postdominators are dominators of the reversed graph (node ids are
+/// preserved by \c reverseCfg, so the tree indexes the original nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_DOM_DOMINATORS_H
+#define PST_DOM_DOMINATORS_H
+
+#include "pst/graph/Cfg.h"
+
+#include <vector>
+
+namespace pst {
+
+/// An immediate-dominator tree over the nodes of a Cfg.
+class DomTree {
+public:
+  /// Builds the dominator tree of \p G rooted at its entry, using the
+  /// Cooper-Harvey-Kennedy iterative algorithm.
+  static DomTree buildIterative(const Cfg &G);
+
+  /// Builds the dominator tree of \p G rooted at its entry, using the
+  /// Lengauer-Tarjan algorithm (the "simple" eval/link variant).
+  static DomTree buildLengauerTarjan(const Cfg &G);
+
+  /// Builds the postdominator tree of \p G (dominators of the reverse graph,
+  /// rooted at exit), using the iterative algorithm.
+  static DomTree buildPostDom(const Cfg &G);
+
+  /// Wraps an externally computed immediate-dominator array (e.g. from the
+  /// PST divide-and-conquer builder); \p Idom[Root] must be InvalidNode.
+  static DomTree fromIdom(NodeId Root, std::vector<NodeId> Idom);
+
+  NodeId root() const { return Root; }
+
+  /// Immediate dominator of \p N; InvalidNode for the root and for nodes
+  /// unreachable from the root.
+  NodeId idom(NodeId N) const { return Idom[N]; }
+
+  /// Children of \p N in the dominator tree.
+  const std::vector<NodeId> &children(NodeId N) const { return Kids[N]; }
+
+  /// True if \p N is reachable from the root (the root itself included).
+  bool isReachable(NodeId N) const { return N == Root || Idom[N] != InvalidNode; }
+
+  /// Reflexive dominance query in O(1) (via tree intervals).
+  bool dominates(NodeId A, NodeId B) const {
+    if (!isReachable(A) || !isReachable(B))
+      return false;
+    return In[A] <= In[B] && Out[B] <= Out[A];
+  }
+
+  /// Irreflexive dominance query.
+  bool strictlyDominates(NodeId A, NodeId B) const {
+    return A != B && dominates(A, B);
+  }
+
+  /// Depth of \p N in the tree (root is 0). Unreachable nodes report 0.
+  uint32_t depth(NodeId N) const { return Depth[N]; }
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Idom.size()); }
+
+private:
+  void finalize(); // Builds Kids/In/Out/Depth from Idom.
+
+  NodeId Root = InvalidNode;
+  std::vector<NodeId> Idom;
+  std::vector<std::vector<NodeId>> Kids;
+  std::vector<uint32_t> In, Out, Depth;
+};
+
+/// Per-node dominance frontiers (Cytron et al.), computed from a dominator
+/// tree. DF(n) = merges m such that n dominates a predecessor of m but does
+/// not strictly dominate m.
+class DominanceFrontiers {
+public:
+  /// Computes frontiers for \p G using dominator tree \p DT (which must have
+  /// been built for \p G).
+  DominanceFrontiers(const Cfg &G, const DomTree &DT);
+
+  /// The frontier of \p N, sorted ascending, without duplicates.
+  const std::vector<NodeId> &frontier(NodeId N) const { return DF[N]; }
+
+  /// Iterated dominance frontier of the node set \p Defs (sorted, deduped).
+  std::vector<NodeId> iterated(const std::vector<NodeId> &Defs) const;
+
+private:
+  std::vector<std::vector<NodeId>> DF;
+};
+
+} // namespace pst
+
+#endif // PST_DOM_DOMINATORS_H

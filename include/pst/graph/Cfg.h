@@ -1,0 +1,159 @@
+//===- pst/graph/Cfg.h - Block-level control flow graph ---------*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control flow graph every analysis in this library consumes.
+///
+/// Following Definition 1 of the paper, a CFG has distinguished \c entry
+/// ("start") and \c exit ("end") nodes such that every node occurs on some
+/// path from start to end; start has no predecessors and end has no
+/// successors. The graph is a *multigraph*: parallel edges and self loops
+/// are allowed (both arise naturally from lowering, e.g. `if (c) ;` produces
+/// parallel edges and a one-block loop produces a self loop), and the cycle
+/// equivalence machinery is defined on edges, so edge identity matters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_GRAPH_CFG_H
+#define PST_GRAPH_CFG_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pst {
+
+/// Dense index of a CFG node.
+using NodeId = uint32_t;
+/// Dense index of a CFG edge.
+using EdgeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId InvalidNode = ~NodeId(0);
+/// Sentinel for "no edge".
+inline constexpr EdgeId InvalidEdge = ~EdgeId(0);
+
+/// A block-level control flow multigraph.
+///
+/// Nodes and edges are referred to by dense ids so analyses can use flat
+/// arrays as side tables. Nodes are never removed; edges are never removed.
+/// (Passes that shrink graphs, like \c simplifyCfg, build a new graph.)
+class Cfg {
+public:
+  /// Per-node payload.
+  struct Node {
+    /// Optional human-readable label (used by dot dumps and the textual
+    /// serialization; empty labels print as "n<id>").
+    std::string Label;
+    /// Outgoing edge ids, in insertion order.
+    std::vector<EdgeId> Succs;
+    /// Incoming edge ids, in insertion order.
+    std::vector<EdgeId> Preds;
+  };
+
+  /// Per-edge payload.
+  struct Edge {
+    NodeId Src = InvalidNode;
+    NodeId Dst = InvalidNode;
+  };
+
+  Cfg() = default;
+
+  /// Adds a node and returns its id. The first two nodes added are, by
+  /// convention, not special; call \c setEntry / \c setExit explicitly.
+  NodeId addNode(std::string Label = "") {
+    Nodes.push_back(Node{std::move(Label), {}, {}});
+    return static_cast<NodeId>(Nodes.size() - 1);
+  }
+
+  /// Adds a directed edge Src -> Dst and returns its id.
+  EdgeId addEdge(NodeId Src, NodeId Dst) {
+    assert(Src < Nodes.size() && Dst < Nodes.size() && "node out of range");
+    EdgeId Id = static_cast<EdgeId>(Edges.size());
+    Edges.push_back(Edge{Src, Dst});
+    Nodes[Src].Succs.push_back(Id);
+    Nodes[Dst].Preds.push_back(Id);
+    return Id;
+  }
+
+  void setEntry(NodeId N) {
+    assert(N < Nodes.size() && "node out of range");
+    EntryNode = N;
+  }
+  void setExit(NodeId N) {
+    assert(N < Nodes.size() && "node out of range");
+    ExitNode = N;
+  }
+
+  NodeId entry() const { return EntryNode; }
+  NodeId exit() const { return ExitNode; }
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Nodes.size()); }
+  uint32_t numEdges() const { return static_cast<uint32_t>(Edges.size()); }
+
+  const Node &node(NodeId N) const {
+    assert(N < Nodes.size() && "node out of range");
+    return Nodes[N];
+  }
+  const Edge &edge(EdgeId E) const {
+    assert(E < Edges.size() && "edge out of range");
+    return Edges[E];
+  }
+
+  NodeId source(EdgeId E) const { return edge(E).Src; }
+  NodeId target(EdgeId E) const { return edge(E).Dst; }
+
+  /// Succ/pred edge id ranges for range-for.
+  const std::vector<EdgeId> &succEdges(NodeId N) const {
+    return node(N).Succs;
+  }
+  const std::vector<EdgeId> &predEdges(NodeId N) const {
+    return node(N).Preds;
+  }
+
+  /// Returns successor node ids (materialized; convenience for callers that
+  /// don't care about edge identity).
+  std::vector<NodeId> successors(NodeId N) const {
+    std::vector<NodeId> Out;
+    Out.reserve(node(N).Succs.size());
+    for (EdgeId E : node(N).Succs)
+      Out.push_back(target(E));
+    return Out;
+  }
+
+  /// Returns predecessor node ids (materialized).
+  std::vector<NodeId> predecessors(NodeId N) const {
+    std::vector<NodeId> Out;
+    Out.reserve(node(N).Preds.size());
+    for (EdgeId E : node(N).Preds)
+      Out.push_back(source(E));
+    return Out;
+  }
+
+  /// Human-readable name of node \p N ("n<id>" when the label is empty).
+  std::string nodeName(NodeId N) const {
+    const std::string &L = node(N).Label;
+    return L.empty() ? "n" + std::to_string(N) : L;
+  }
+
+  void setNodeLabel(NodeId N, std::string Label) {
+    assert(N < Nodes.size() && "node out of range");
+    Nodes[N].Label = std::move(Label);
+  }
+
+private:
+  std::vector<Node> Nodes;
+  std::vector<Edge> Edges;
+  NodeId EntryNode = InvalidNode;
+  NodeId ExitNode = InvalidNode;
+};
+
+} // namespace pst
+
+#endif // PST_GRAPH_CFG_H

@@ -1,0 +1,169 @@
+//===- pst/lang/Ast.h - MiniLang abstract syntax ----------------*- C++ -*-===//
+//
+// Part of the PST library (see Lexer.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniLang AST: expressions with the usual binary/unary operators and
+/// statements covering structured control flow plus goto/label (programs in
+/// the paper's corpus are mostly structured with an unstructured minority,
+/// and the generators mirror that mix).
+///
+/// Nodes carry a Kind discriminator in LLVM style; \c Expr and \c Stmt are
+/// closed hierarchies navigated with switch-over-kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_LANG_AST_H
+#define PST_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pst {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  Number,
+  VarRef,
+  Unary,  // -x, !x
+  Binary, // + - * / % == != < <= > >= && ||
+  Call,
+};
+
+/// Binary/unary operator spellings reuse the token spellings.
+enum class OpKind : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+  Neg,
+  Not,
+};
+
+/// Printable operator spelling ("+", "&&", ...).
+const char *opSpelling(OpKind K);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One expression node (tagged union in the LLVM closed-hierarchy style).
+struct Expr {
+  ExprKind Kind;
+  uint32_t Line = 0;
+
+  int64_t Value = 0;        // Number.
+  std::string Name;         // VarRef / Call.
+  OpKind Op = OpKind::Add;  // Unary / Binary.
+  ExprPtr Lhs, Rhs;         // Binary (Lhs,Rhs) / Unary (Lhs).
+  std::vector<ExprPtr> Args; // Call.
+
+  explicit Expr(ExprKind K) : Kind(K) {}
+};
+
+ExprPtr makeNumber(int64_t V, uint32_t Line);
+ExprPtr makeVarRef(std::string Name, uint32_t Line);
+ExprPtr makeUnary(OpKind Op, ExprPtr Operand, uint32_t Line);
+ExprPtr makeBinary(OpKind Op, ExprPtr L, ExprPtr R, uint32_t Line);
+ExprPtr makeCall(std::string Callee, std::vector<ExprPtr> Args,
+                 uint32_t Line);
+
+/// Renders an expression as source text.
+std::string formatExpr(const Expr &E);
+
+/// Deep-copies an expression tree (instructions keep evaluable copies of
+/// their right-hand sides for the interpreters).
+ExprPtr cloneExpr(const Expr &E);
+
+/// Appends the names of all variables read by \p E to \p Out.
+void collectUses(const Expr &E, std::vector<std::string> &Out);
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Statement node kinds.
+enum class StmtKind : uint8_t {
+  Block,    // { ... }
+  VarDecl,  // var x = e;
+  Assign,   // x = e;
+  ExprStmt, // e;  (calls for effect)
+  If,       // if (c) then [else]
+  While,    // while (c) body
+  DoWhile,  // do body while (c);
+  For,      // for (init; cond; step) body
+  Switch,   // switch (e) { case k: ... default: ... }
+  Break,
+  Continue,
+  Return,   // return [e];
+  Goto,     // goto l;
+  Label,    // l:
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One switch arm; a missing value (HasValue false) is the default arm.
+struct SwitchArm {
+  bool HasValue = false;
+  int64_t Value = 0;
+  std::vector<StmtPtr> Body;
+};
+
+/// One statement node.
+struct Stmt {
+  StmtKind Kind;
+  uint32_t Line = 0;
+
+  std::vector<StmtPtr> Body; // Block.
+  std::string Name;          // VarDecl/Assign target, Goto/Label name.
+  ExprPtr Value;             // Initializer / RHS / condition / returned.
+  StmtPtr Then, Else;        // If arms; loop bodies live in Then.
+  StmtPtr Init, Step;        // For clauses.
+  std::vector<SwitchArm> Arms; // Switch.
+
+  explicit Stmt(StmtKind K) : Kind(K) {}
+};
+
+/// One function: name, parameters, body block.
+struct Function {
+  std::string Name;
+  std::vector<std::string> Params;
+  StmtPtr Body;
+  uint32_t Line = 0;
+};
+
+/// A parsed compilation unit.
+struct Program {
+  std::vector<Function> Functions;
+};
+
+/// Renders a statement (and children) as indented source text.
+std::string formatStmt(const Stmt &S, unsigned Indent = 0);
+
+/// Renders a whole function as source text.
+std::string formatFunction(const Function &F);
+
+/// Counts source statements (every Stmt node except Block containers), the
+/// "lines" measure used by the corpus table.
+uint32_t countStatements(const Stmt &S);
+
+} // namespace pst
+
+#endif // PST_LANG_AST_H

@@ -1,0 +1,77 @@
+//===- pst/lang/Interp.h - MiniLang interpreters ----------------*- C++ -*-===//
+//
+// Part of the PST library (see Lexer.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two interpreters with identical semantics:
+///
+///  * \c runAst executes a function directly off its AST (reference
+///    semantics; goto is not supported at this level).
+///  * \c runLowered executes a lowered CFG instruction by instruction,
+///    recording how often every block runs.
+///
+/// Differential execution of the two validates the lowering end to end,
+/// and the per-block execution counts give a *dynamic* check of the
+/// control-region guarantee: nodes that are cycle equivalent in
+/// G + (end -> start) execute the same number of times on every complete
+/// run (a run's trace plus the return edge is a closed walk, closed walks
+/// decompose into simple cycles, and a simple cycle contains two cycle-
+/// equivalent nodes either once each or not at all).
+///
+/// Semantics shared by both interpreters (total, deterministic):
+///  * 64-bit wrapping integers; x / 0 == 0 and x % 0 == 0;
+///  * relational/logical operators yield 1/0; && and || evaluate both
+///    sides (MiniLang expressions are effect-free, so this is
+///    unobservable);
+///  * uninitialized variables read 0;
+///  * calls invoke a deterministic pure builtin (a hash of callee name and
+///    argument values);
+///  * falling off the end returns 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_LANG_INTERP_H
+#define PST_LANG_INTERP_H
+
+#include "pst/lang/Lower.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pst {
+
+/// Outcome of one bounded execution.
+struct ExecResult {
+  /// False when the step budget ran out (potentially non-terminating).
+  bool Finished = false;
+  int64_t ReturnValue = 0;
+  uint64_t Steps = 0;
+};
+
+/// Outcome of one bounded CFG execution, with the block trace profile.
+struct CfgExecResult : ExecResult {
+  /// BlockCounts[n] = number of times block n was entered.
+  std::vector<uint64_t> BlockCounts;
+};
+
+/// The deterministic builtin backing MiniLang calls.
+int64_t evalBuiltinCall(const std::string &Callee,
+                        const std::vector<int64_t> &Args);
+
+/// Executes \p F on \p Args off the AST. Missing arguments read 0; extras
+/// are ignored. Returns Finished = false if \p MaxSteps statements were
+/// executed without returning, or if the function uses goto/labels (which
+/// this reference interpreter does not model).
+ExecResult runAst(const Function &F, const std::vector<int64_t> &Args,
+                  uint64_t MaxSteps = 1 << 20);
+
+/// Executes lowered code on \p Args, recording per-block entry counts.
+CfgExecResult runLowered(const LoweredFunction &F,
+                         const std::vector<int64_t> &Args,
+                         uint64_t MaxSteps = 1 << 20);
+
+} // namespace pst
+
+#endif // PST_LANG_INTERP_H

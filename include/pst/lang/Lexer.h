@@ -1,0 +1,92 @@
+//===- pst/lang/Lexer.h - MiniLang tokens and lexer -------------*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniLang lexer. MiniLang is the small imperative language this repo
+/// uses in place of the paper's FORTRAN front-end: it has every control
+/// construct the paper's empirical section cares about (conditionals, case,
+/// structured loops, break/continue, and goto for the unstructured
+/// minority) and compiles to the block-level CFG all analyses consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_LANG_LEXER_H
+#define PST_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pst {
+
+/// Token kinds. Keywords are distinct kinds; punctuation/operators too.
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  Number,
+  // Keywords.
+  KwFunc,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwGoto,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Colon,
+  // Operators.
+  Assign,   // =
+  Plus,     // +
+  Minus,    // -
+  Star,     // *
+  Slash,    // /
+  Percent,  // %
+  EqEq,     // ==
+  NotEq,    // !=
+  Less,     // <
+  LessEq,   // <=
+  Greater,  // >
+  GreaterEq,// >=
+  AndAnd,   // &&
+  OrOr,     // ||
+  Not,      // !
+  // Error recovery.
+  Unknown,
+};
+
+/// Printable token kind name (for diagnostics).
+const char *tokKindName(TokKind K);
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t Value = 0; // For Number.
+  uint32_t Line = 0, Col = 0;
+};
+
+/// Lexes an entire buffer. '#' starts a line comment. Unknown characters
+/// produce TokKind::Unknown tokens (the parser diagnoses them).
+std::vector<Token> lex(const std::string &Source);
+
+} // namespace pst
+
+#endif // PST_LANG_LEXER_H

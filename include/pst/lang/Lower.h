@@ -1,0 +1,125 @@
+//===- pst/lang/Lower.h - AST to block-level CFG ----------------*- C++ -*-===//
+//
+// Part of the PST library (see Lexer.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a MiniLang function to the block-level CFG all analyses consume,
+/// with a per-block instruction list carrying def/use information (what the
+/// SSA construction and dataflow problems need).
+///
+/// Lowering rules:
+///  * A dedicated entry block defines the parameters; a dedicated exit
+///    block ends the function; `return` jumps to it.
+///  * if/while/do-while/for/switch lower in the standard structured way
+///    (switch arms do not fall through; `break`/`continue` bind to the
+///    innermost loop).
+///  * `goto`/labels create arbitrary edges; unreachable code is pruned.
+///  * A loop that cannot reach the exit (e.g. `while (1) {}`) gets one
+///    synthetic edge to the exit block so the result satisfies
+///    Definition 1; this mirrors the usual postdominator-friendly
+///    "connect infinite loops" transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_LANG_LOWER_H
+#define PST_LANG_LOWER_H
+
+#include "pst/graph/Cfg.h"
+#include "pst/lang/Parser.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pst {
+
+/// Dense index of a function-local variable.
+using VarId = uint32_t;
+/// Sentinel for "no variable".
+inline constexpr VarId InvalidVar = ~VarId(0);
+
+/// One switch arm of a SwitchTerm instruction, aligned with the block's
+/// successor-edge order.
+struct SwitchArmSpec {
+  bool IsDefault = false;
+  int64_t Value = 0;
+};
+
+/// One lowered instruction: an optional definition plus a use list.
+///
+/// Def/use structure is all the analyses need; \c Rhs keeps an evaluable
+/// copy of the expression so the CFG interpreter (lang/Interp.h) can
+/// execute lowered code, and \c Text the human-readable form for dumps.
+struct Instruction {
+  enum class Kind : uint8_t {
+    Param,      ///< Parameter definition in the entry block.
+    Assign,     ///< x = expr.
+    CondBranch, ///< Terminator: successor 0 if Rhs is true, else 1.
+    SwitchTerm, ///< Terminator: successor of the matching Arms entry.
+    Return,     ///< Jump to exit, possibly using a value.
+    Call,       ///< Expression statement evaluated for effect.
+  };
+
+  Kind K = Kind::Assign;
+  VarId Def = InvalidVar;
+  std::vector<VarId> Uses;
+  std::string Text;
+  /// Evaluable RHS / condition / selector / returned expression (shared:
+  /// instructions are freely copied by CFG transformations).
+  std::shared_ptr<const Expr> Rhs;
+  /// SwitchTerm only: one entry per arm successor edge, in edge order; a
+  /// trailing fall-past edge (no default) has no entry.
+  std::vector<SwitchArmSpec> Arms;
+};
+
+/// A function lowered to CFG + code.
+struct LoweredFunction {
+  std::string Name;
+  Cfg Graph;
+  /// Code[n] is the instruction list of CFG node n.
+  std::vector<std::vector<Instruction>> Code;
+  /// VarNames[v] is the source name of variable v.
+  std::vector<std::string> VarNames;
+  /// Number of AST statements (the corpus "lines" measure).
+  uint32_t NumStatements = 0;
+
+  uint32_t numVars() const { return static_cast<uint32_t>(VarNames.size()); }
+
+  /// Blocks containing at least one definition of \p V, sorted, deduped.
+  std::vector<NodeId> defBlocks(VarId V) const;
+
+  /// Blocks containing at least one use of \p V, sorted, deduped.
+  std::vector<NodeId> useBlocks(VarId V) const;
+};
+
+/// Lowers one function. Returns std::nullopt and diagnostics on semantic
+/// errors (undeclared variables, unknown labels, break outside a loop...).
+std::optional<LoweredFunction>
+lowerFunction(const Function &F, std::vector<Diagnostic> *Diags = nullptr);
+
+/// Lowers every function of a program; stops at the first failing one.
+std::optional<std::vector<LoweredFunction>>
+lowerProgram(const Program &P, std::vector<Diagnostic> *Diags = nullptr);
+
+/// Rewrites \p F into a *statement-level* CFG: every block with k > 1
+/// instructions becomes a chain of k single-instruction blocks. This is
+/// the granularity the paper's Section 6.2 measurements use ("averaging
+/// less that 10% the size of the (statement-level) CFG"). Node ids change;
+/// block-level node n maps to the returned function's nodes
+/// [FirstOf[n], FirstOf[n] + k).
+LoweredFunction expandToStatementLevel(const LoweredFunction &F,
+                                       std::vector<NodeId> *FirstOf = nullptr);
+
+/// Convenience: parse + lower in one step.
+std::optional<std::vector<LoweredFunction>>
+compile(const std::string &Source, std::vector<Diagnostic> *Diags = nullptr);
+
+/// Renders a lowered function (blocks, instructions, successors).
+std::string formatLowered(const LoweredFunction &F);
+
+} // namespace pst
+
+#endif // PST_LANG_LOWER_H

@@ -1,0 +1,78 @@
+//===- pst/ssa/SsaBuilder.h - Full SSA construction -------------*- C++ -*-===//
+//
+// Part of the PST library (see PhiPlacement.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Full SSA construction on lowered MiniLang: phi placement (either
+/// strategy) followed by the standard dominator-tree renaming walk, plus a
+/// structural verifier used by tests.
+///
+/// Version numbering: for every variable, version 0 is the implicit
+/// "undefined" value live at function entry; real definitions and phis get
+/// versions 1, 2, ... in renaming order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_SSA_SSABUILDER_H
+#define PST_SSA_SSABUILDER_H
+
+#include "pst/ssa/PhiPlacement.h"
+
+#include <string>
+#include <vector>
+
+namespace pst {
+
+/// One phi function in SSA form.
+struct SsaPhi {
+  VarId Var = InvalidVar;
+  uint32_t DefVersion = 0;
+  /// One incoming (cfg edge, version) pair per predecessor edge of the
+  /// block, in predEdges order.
+  std::vector<std::pair<EdgeId, uint32_t>> Incoming;
+};
+
+/// Version annotations for one original instruction.
+struct SsaInstrVersions {
+  uint32_t DefVersion = 0;             ///< Meaningful when the instr defines.
+  std::vector<uint32_t> UseVersions;   ///< Parallel to Instruction::Uses.
+};
+
+/// A function in SSA form: the original LoweredFunction plus phis and
+/// version annotations.
+struct SsaForm {
+  /// Phis[n] = phi functions at block n.
+  std::vector<std::vector<SsaPhi>> Phis;
+  /// Versions[n][i] annotates Code[n][i].
+  std::vector<std::vector<SsaInstrVersions>> Versions;
+  /// Number of versions per variable (>= 1; version 0 is the undef).
+  std::vector<uint32_t> NumVersions;
+
+  /// Total number of phi functions.
+  uint64_t numPhis() const {
+    uint64_t N = 0;
+    for (const auto &B : Phis)
+      N += B.size();
+    return N;
+  }
+};
+
+/// Builds SSA form using the given phi placement (callers pick classic or
+/// PST-based; Theorem 9 makes them interchangeable).
+SsaForm buildSsa(const LoweredFunction &F, const PhiPlacement &P);
+
+/// Verifies SSA invariants: every version defined exactly once, every use
+/// version dominated by its definition, phi incoming versions flowing from
+/// the right predecessors. Returns true and leaves \p Why empty on
+/// success.
+bool verifySsa(const LoweredFunction &F, const SsaForm &S,
+               std::string *Why = nullptr);
+
+/// Renders SSA form as readable text ("x.2 = phi(x.1, x.3)", ...).
+std::string formatSsa(const LoweredFunction &F, const SsaForm &S);
+
+} // namespace pst
+
+#endif // PST_SSA_SSABUILDER_H

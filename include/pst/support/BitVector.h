@@ -1,0 +1,171 @@
+//===- pst/support/BitVector.h - Dense bit vector ---------------*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, fixed-universe bit vector with the set operations needed by the
+/// iterative dataflow solvers and the brute-force dominance oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_SUPPORT_BITVECTOR_H
+#define PST_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pst {
+
+/// A dense bit vector over a fixed universe [0, size).
+///
+/// Words are 64-bit; all binary operations require equal-sized operands
+/// (asserted). The class is intentionally small: the dataflow framework
+/// composes everything else out of these primitives.
+class BitVector {
+public:
+  BitVector() = default;
+
+  /// Creates a vector of \p NumBits bits, all initialized to \p Value.
+  explicit BitVector(size_t NumBits, bool Value = false)
+      : NumBits(NumBits),
+        Words((NumBits + BitsPerWord - 1) / BitsPerWord,
+              Value ? ~uint64_t(0) : 0) {
+    clearUnusedBits();
+  }
+
+  size_t size() const { return NumBits; }
+  bool empty() const { return NumBits == 0; }
+
+  bool test(size_t Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / BitsPerWord] >> (Idx % BitsPerWord)) & 1;
+  }
+
+  void set(size_t Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / BitsPerWord] |= uint64_t(1) << (Idx % BitsPerWord);
+  }
+
+  void reset(size_t Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / BitsPerWord] &= ~(uint64_t(1) << (Idx % BitsPerWord));
+  }
+
+  /// Sets every bit.
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~uint64_t(0);
+    clearUnusedBits();
+  }
+
+  /// Clears every bit.
+  void resetAll() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Returns the number of set bits.
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  /// Returns true if no bit is set.
+  bool none() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  /// Returns true if any bit is set.
+  bool any() const { return !none(); }
+
+  /// In-place union. Returns true if this vector changed.
+  bool unionWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// In-place intersection. Returns true if this vector changed.
+  bool intersectWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// In-place difference (this &= ~Other). Returns true if changed.
+  bool subtract(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= ~Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  bool operator==(const BitVector &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+  bool operator!=(const BitVector &Other) const { return !(*this == Other); }
+
+  /// Returns the index of the first set bit at or after \p From, or
+  /// size() if none exists.
+  size_t findNext(size_t From) const {
+    if (From >= NumBits)
+      return NumBits;
+    size_t WordIdx = From / BitsPerWord;
+    uint64_t W = Words[WordIdx] & (~uint64_t(0) << (From % BitsPerWord));
+    while (true) {
+      if (W)
+        return WordIdx * BitsPerWord +
+               static_cast<size_t>(__builtin_ctzll(W));
+      if (++WordIdx == Words.size())
+        return NumBits;
+      W = Words[WordIdx];
+    }
+  }
+
+  /// Calls \p Fn for every set bit, in increasing index order.
+  template <typename CallableT> void forEachSetBit(CallableT Fn) const {
+    for (size_t I = findNext(0); I < NumBits; I = findNext(I + 1))
+      Fn(I);
+  }
+
+private:
+  static constexpr size_t BitsPerWord = 64;
+
+  void clearUnusedBits() {
+    size_t Tail = NumBits % BitsPerWord;
+    if (Tail && !Words.empty())
+      Words.back() &= (uint64_t(1) << Tail) - 1;
+  }
+
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace pst
+
+#endif // PST_SUPPORT_BITVECTOR_H

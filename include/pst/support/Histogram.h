@@ -1,0 +1,77 @@
+//===- pst/support/Histogram.h - Integer histogram --------------*- C++ -*-===//
+//
+// Part of the PST library (see BitVector.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny integer histogram used by the figure-reproduction benches
+/// (region-depth distributions, phi-placement sparsity buckets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_SUPPORT_HISTOGRAM_H
+#define PST_SUPPORT_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pst {
+
+/// Counts occurrences of small non-negative integer values.
+class Histogram {
+public:
+  /// Records one occurrence of \p Value, growing the bucket array on demand.
+  void add(size_t Value) {
+    if (Value >= Buckets.size())
+      Buckets.resize(Value + 1, 0);
+    ++Buckets[Value];
+    ++Total;
+  }
+
+  /// Number of buckets (max recorded value + 1).
+  size_t numBuckets() const { return Buckets.size(); }
+
+  /// Count in bucket \p Value (0 if never recorded).
+  uint64_t count(size_t Value) const {
+    return Value < Buckets.size() ? Buckets[Value] : 0;
+  }
+
+  /// Total number of recorded samples.
+  uint64_t total() const { return Total; }
+
+  /// Count of samples with value <= \p Value.
+  uint64_t cumulative(size_t Value) const {
+    uint64_t Sum = 0;
+    for (size_t I = 0; I < Buckets.size() && I <= Value; ++I)
+      Sum += Buckets[I];
+    return Sum;
+  }
+
+  /// Mean of the recorded values (0 if empty).
+  double mean() const {
+    if (Total == 0)
+      return 0.0;
+    double Sum = 0;
+    for (size_t I = 0; I < Buckets.size(); ++I)
+      Sum += static_cast<double>(I) * static_cast<double>(Buckets[I]);
+    return Sum / static_cast<double>(Total);
+  }
+
+  /// Largest recorded value (0 if empty).
+  size_t maxValue() const {
+    for (size_t I = Buckets.size(); I > 0; --I)
+      if (Buckets[I - 1])
+        return I - 1;
+    return 0;
+  }
+
+private:
+  std::vector<uint64_t> Buckets;
+  uint64_t Total = 0;
+};
+
+} // namespace pst
+
+#endif // PST_SUPPORT_HISTOGRAM_H

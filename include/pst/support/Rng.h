@@ -1,0 +1,70 @@
+//===- pst/support/Rng.h - Deterministic random numbers ---------*- C++ -*-===//
+//
+// Part of the PST library (see BitVector.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic 64-bit PRNG (SplitMix64). Every workload generator
+/// and property test is seeded through this class so results reproduce
+/// bit-for-bit across runs and platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_SUPPORT_RNG_H
+#define PST_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pst {
+
+/// SplitMix64 pseudo-random generator with convenience samplers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Rejection-free modulo is fine here: generators tolerate the tiny bias.
+    return next() % Bound;
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace pst
+
+#endif // PST_SUPPORT_RNG_H

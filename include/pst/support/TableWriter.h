@@ -1,0 +1,44 @@
+//===- pst/support/TableWriter.h - Aligned text tables ----------*- C++ -*-===//
+//
+// Part of the PST library (see BitVector.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text table printing. The figure/table benches use
+/// this to emit the same rows the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_SUPPORT_TABLEWRITER_H
+#define PST_SUPPORT_TABLEWRITER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pst {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TableWriter {
+public:
+  /// Sets the header row (printed first, followed by a separator line).
+  void setHeader(std::vector<std::string> Columns);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table to \p OS. Numeric-looking cells are right-aligned.
+  void print(std::ostream &OS) const;
+
+  /// Formats a double with \p Digits fractional digits.
+  static std::string fmt(double Value, int Digits = 2);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace pst
+
+#endif // PST_SUPPORT_TABLEWRITER_H

@@ -1,0 +1,67 @@
+//===- pst/support/UnionFind.h - Disjoint set forest ------------*- C++ -*-===//
+//
+// Part of the PST library (see BitVector.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Union-find with path halving and union by rank. Used by the reducibility
+/// test (T1/T2 interval collapsing) and by tests that compare equivalence
+/// partitions produced by different control-region algorithms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_SUPPORT_UNIONFIND_H
+#define PST_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace pst {
+
+/// Disjoint-set forest over dense indices [0, size).
+class UnionFind {
+public:
+  explicit UnionFind(size_t Size) : Parent(Size), Rank(Size, 0) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+
+  size_t size() const { return Parent.size(); }
+
+  /// Returns the representative of \p X's set.
+  uint32_t find(uint32_t X) {
+    assert(X < Parent.size() && "element out of range");
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]]; // Path halving.
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges the sets of \p A and \p B. Returns true if they were distinct.
+  bool merge(uint32_t A, uint32_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return false;
+    if (Rank[A] < Rank[B])
+      std::swap(A, B);
+    Parent[B] = A;
+    if (Rank[A] == Rank[B])
+      ++Rank[A];
+    return true;
+  }
+
+  /// Returns true if \p A and \p B are in the same set.
+  bool connected(uint32_t A, uint32_t B) { return find(A) == find(B); }
+
+private:
+  std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+} // namespace pst
+
+#endif // PST_SUPPORT_UNIONFIND_H

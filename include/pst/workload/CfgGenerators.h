@@ -1,0 +1,72 @@
+//===- pst/workload/CfgGenerators.h - Synthetic CFGs ------------*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic CFG generators.
+///
+/// Property tests cross-check the linear-time algorithms against
+/// brute-force oracles on thousands of \c randomBackboneCfg instances; the
+/// benches use the structured generators (diamond ladders, loop nests,
+/// nested repeat-until — the dominance-frontier worst case from Section
+/// 6.1 — and irreducible meshes) to sweep sizes with controlled shape.
+///
+/// All generators produce graphs that satisfy \c validateCfg by
+/// construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_WORKLOAD_CFGGENERATORS_H
+#define PST_WORKLOAD_CFGGENERATORS_H
+
+#include "pst/graph/Cfg.h"
+#include "pst/support/Rng.h"
+
+namespace pst {
+
+/// Options for \c randomBackboneCfg.
+struct RandomCfgOptions {
+  uint32_t NumNodes = 10;       ///< Including entry and exit; must be >= 2.
+  uint32_t NumExtraEdges = 6;   ///< Random edges beyond the backbone path.
+  double SelfLoopProb = 0.05;   ///< Chance an extra edge is a self loop.
+  double ParallelProb = 0.05;   ///< Chance an extra edge duplicates one.
+  bool AllowBackEdges = true;   ///< Extra edges may point "backwards".
+};
+
+/// A random valid CFG: a permuted entry-to-exit backbone path guarantees
+/// Definition 1, then extra edges add joins, branches, loops (possibly
+/// irreducible), parallel edges and self loops.
+Cfg randomBackboneCfg(Rng &R, const RandomCfgOptions &Opts);
+
+/// A straight chain entry -> b1 -> ... -> bN -> exit.
+Cfg chainCfg(uint32_t InnerNodes);
+
+/// A ladder of \p Count sequential if-then-else diamonds.
+Cfg diamondLadderCfg(uint32_t Count);
+
+/// \p Depth perfectly nested while loops with \p BodyBlocks blocks in the
+/// innermost body.
+Cfg nestedWhileCfg(uint32_t Depth, uint32_t BodyBlocks = 1);
+
+/// \p Depth nested repeat-until loops sharing one chain of body blocks:
+/// node i has a backedge from the chain end for every nesting level. This
+/// is the family for which dominance frontiers grow quadratically
+/// (Section 6.1 cites [CFR+91]).
+Cfg nestedRepeatUntilCfg(uint32_t Depth);
+
+/// The classic irreducible triangle: entry branches to both a and b, which
+/// form a two-node loop before reaching exit. \p Copies chains several such
+/// triangles sequentially.
+Cfg irreducibleCfg(uint32_t Copies = 1);
+
+/// The control flow graph of the paper's Figure 1 (used as a golden test).
+/// Node labels follow the figure: start, a..j style block names.
+Cfg paperFigure1Cfg();
+
+} // namespace pst
+
+#endif // PST_WORKLOAD_CFGGENERATORS_H

@@ -1,0 +1,180 @@
+//===- ControlRegions.cpp - Control regions in O(E) ---------------------------===//
+//
+// Part of the PST library (see ControlDependence.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/cdg/ControlRegions.h"
+
+#include "pst/cdg/ControlDependence.h"
+#include "pst/cycleequiv/CycleEquiv.h"
+#include "pst/cycleequiv/CycleEquivBrute.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace pst;
+
+Cfg pst::nodeExpand(const Cfg &G) {
+  Cfg H;
+  uint32_t N = G.numNodes();
+  for (NodeId V = 0; V < N; ++V) {
+    H.addNode(G.nodeName(V) + "_i");
+    H.addNode(G.nodeName(V) + "_o");
+  }
+  // Representative edges first so that node V's representative edge has
+  // EdgeId V.
+  for (NodeId V = 0; V < N; ++V)
+    H.addEdge(2 * V, 2 * V + 1);
+  for (EdgeId E = 0; E < G.numEdges(); ++E)
+    H.addEdge(2 * G.source(E) + 1, 2 * G.target(E));
+  H.setEntry(2 * G.entry());
+  H.setExit(2 * G.exit() + 1);
+  return H;
+}
+
+/// Renumbers a raw class vector densely in first-occurrence order.
+static ControlRegionsResult densify(std::vector<uint32_t> Raw) {
+  ControlRegionsResult R;
+  R.NodeClass = canonicalizePartition(Raw);
+  uint32_t Max = 0;
+  for (uint32_t C : R.NodeClass)
+    Max = std::max(Max, C + 1);
+  R.NumClasses = Max;
+  return R;
+}
+
+ControlRegionsResult pst::computeControlRegionsLinear(const Cfg &G) {
+  // T(S): expand nodes, then close with the return edge end_o -> start_i.
+  Cfg H = nodeExpand(G);
+  H.addEdge(2 * G.exit() + 1, 2 * G.entry());
+  CycleEquivResult CE = computeCycleEquivalence(H, /*AddReturnEdge=*/false);
+
+  std::vector<uint32_t> Raw(G.numNodes());
+  for (NodeId V = 0; V < G.numNodes(); ++V)
+    Raw[V] = CE.classOf(V); // Representative edge of V has EdgeId V.
+  return densify(std::move(Raw));
+}
+
+ControlRegionsResult pst::computeControlRegionsLinearImplicit(const Cfg &G) {
+  // Endpoints of T(S) synthesized in place: node V splits into V_i = 2V
+  // and V_o = 2V+1; representative edge V gets index V; original edge E
+  // becomes (src_o, dst_i); the return edge closes the cycle.
+  UndirectedGraphView View;
+  uint32_t N = G.numNodes();
+  View.NumNodes = 2 * N;
+  View.Root = 2 * G.entry();
+  View.Endpoints.reserve(N + G.numEdges() + 1);
+  for (NodeId V = 0; V < N; ++V)
+    View.Endpoints.emplace_back(2 * V, 2 * V + 1);
+  for (EdgeId E = 0; E < G.numEdges(); ++E)
+    View.Endpoints.emplace_back(2 * G.source(E) + 1, 2 * G.target(E));
+  View.Endpoints.emplace_back(2 * G.exit() + 1, 2 * G.entry());
+
+  CycleEquivResult CE = computeCycleEquivalenceRaw(View);
+  std::vector<uint32_t> Raw(N);
+  for (NodeId V = 0; V < N; ++V)
+    Raw[V] = CE.classOf(V);
+  return densify(std::move(Raw));
+}
+
+ControlRegionsResult pst::computeControlRegionsFOW(const Cfg &G) {
+  ControlDependence CD(G);
+  // Group nodes by their full dependence set. A std::map keyed by the
+  // sorted vector stands in for FOW's hashing; the cost that matters (and
+  // that the bench shows) is materializing the O(N*E) relation.
+  std::map<std::vector<EdgeId>, uint32_t> Classes;
+  std::vector<uint32_t> Raw(G.numNodes());
+  for (NodeId V = 0; V < G.numNodes(); ++V) {
+    auto It = Classes.try_emplace(CD.dependences(V),
+                                  static_cast<uint32_t>(Classes.size()))
+                  .first;
+    Raw[V] = It->second;
+  }
+  return densify(std::move(Raw));
+}
+
+ControlRegionsResult pst::computeControlRegionsRefinement(const Cfg &G) {
+  uint32_t N = G.numNodes();
+  ControlDependence CD(G);
+
+  // CFS90: all nodes start in one class; each control dependence direction
+  // (edge) splits every class into dependent / non-dependent halves.
+  std::vector<uint32_t> Class(N, 0);
+  uint32_t NumClasses = 1;
+  std::vector<uint32_t> SplitOf; // Per original class, its new half.
+  for (EdgeId E = 0; E < G.numEdges(); ++E) {
+    const std::vector<NodeId> &S = CD.dependents(E);
+    if (S.empty())
+      continue;
+    SplitOf.assign(NumClasses, UINT32_MAX);
+    for (NodeId V : S) {
+      uint32_t C = Class[V];
+      if (SplitOf[C] == UINT32_MAX)
+        SplitOf[C] = NumClasses++;
+      Class[V] = SplitOf[C];
+    }
+    // Classes whose every member moved should collapse back; detecting
+    // that lazily costs another pass, so we simply renumber at the end
+    // (empty originals disappear in densify).
+  }
+  return densify(std::move(Class));
+}
+
+ControlRegionsResult pst::computeNodeCycleEquivalenceBrute(const Cfg &G) {
+  Cfg S = withReturnEdge(G);
+  uint32_t N = S.numNodes();
+
+  // existsCycleThroughNodeAvoidingNode(a, b): a non-empty closed walk
+  // through a that never visits b.
+  auto ExistsCycleAvoiding = [&](NodeId A, NodeId B) {
+    if (A == B)
+      return false;
+    std::vector<bool> Seen(N, false);
+    std::vector<NodeId> Work;
+    for (EdgeId E : S.succEdges(A)) {
+      NodeId W = S.target(E);
+      if (W == A)
+        return true; // Self loop.
+      if (W != B && !Seen[W]) {
+        Seen[W] = true;
+        Work.push_back(W);
+      }
+    }
+    while (!Work.empty()) {
+      NodeId V = Work.back();
+      Work.pop_back();
+      for (EdgeId E : S.succEdges(V)) {
+        NodeId W = S.target(E);
+        if (W == A)
+          return true;
+        if (W != B && !Seen[W]) {
+          Seen[W] = true;
+          Work.push_back(W);
+        }
+      }
+    }
+    return false;
+  };
+
+  auto NodeEquiv = [&](NodeId A, NodeId B) {
+    return !ExistsCycleAvoiding(A, B) && !ExistsCycleAvoiding(B, A);
+  };
+
+  std::vector<uint32_t> Raw(G.numNodes(), UINT32_MAX);
+  uint32_t Next = 0;
+  for (NodeId A = 0; A < G.numNodes(); ++A) {
+    if (Raw[A] != UINT32_MAX)
+      continue;
+    uint32_t C = Next++;
+    Raw[A] = C;
+    for (NodeId B = A + 1; B < G.numNodes(); ++B)
+      if (Raw[B] == UINT32_MAX && NodeEquiv(A, B))
+        Raw[B] = C;
+  }
+  ControlRegionsResult R;
+  R.NodeClass = std::move(Raw);
+  R.NumClasses = Next;
+  return R;
+}

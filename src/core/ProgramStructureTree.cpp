@@ -1,0 +1,148 @@
+//===- ProgramStructureTree.cpp - The PST -----------------------------------===//
+//
+// Part of the PST library (see ProgramStructureTree.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/core/ProgramStructureTree.h"
+
+#include "pst/graph/CfgAlgorithms.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pst;
+
+ProgramStructureTree ProgramStructureTree::build(const Cfg &G) {
+  ProgramStructureTree T;
+  T.CE = computeCycleEquivalence(G, /*AddReturnEdge=*/true);
+  uint32_t NumE = G.numEdges();
+
+  // -- Pass 1: one directed DFS from entry recording the first-traversal
+  // time of every edge. Within a cycle equivalence class this order is the
+  // dominance order (a dominator is traversed before anything it
+  // dominates on every walk from entry).
+  std::vector<uint32_t> EdgeTime(NumE, UINT32_MAX);
+  {
+    uint32_t Clock = 0;
+    std::vector<bool> Visited(G.numNodes(), false);
+    std::vector<std::pair<NodeId, uint32_t>> Stack;
+    Visited[G.entry()] = true;
+    Stack.emplace_back(G.entry(), 0);
+    while (!Stack.empty()) {
+      auto &[V, Next] = Stack.back();
+      const auto &Succs = G.succEdges(V);
+      if (Next == Succs.size()) {
+        Stack.pop_back();
+        continue;
+      }
+      EdgeId E = Succs[Next++];
+      EdgeTime[E] = Clock++;
+      NodeId W = G.target(E);
+      if (!Visited[W]) {
+        Visited[W] = true;
+        Stack.emplace_back(W, 0);
+      }
+    }
+  }
+
+  // -- Pass 2: group real edges by class and pair consecutive edges (in
+  // traversal-time order) into canonical regions.
+  uint32_t NumClasses = T.CE.NumClasses;
+  std::vector<std::vector<EdgeId>> ClassEdges(NumClasses);
+  for (EdgeId E = 0; E < NumE; ++E) {
+    assert(EdgeTime[E] != UINT32_MAX && "edge unreachable; CFG is invalid");
+    ClassEdges[T.CE.classOf(E)].push_back(E);
+  }
+
+  T.Regions.push_back(SeseRegion{}); // Synthetic root, id 0.
+  T.EntryOf.assign(NumE, InvalidRegion);
+  T.ExitOf.assign(NumE, InvalidRegion);
+  for (auto &Edges : ClassEdges) {
+    if (Edges.size() < 2)
+      continue;
+    std::sort(Edges.begin(), Edges.end(), [&](EdgeId A, EdgeId B) {
+      return EdgeTime[A] < EdgeTime[B];
+    });
+    for (size_t I = 0; I + 1 < Edges.size(); ++I) {
+      RegionId R = static_cast<RegionId>(T.Regions.size());
+      SeseRegion Reg;
+      Reg.EntryEdge = Edges[I];
+      Reg.ExitEdge = Edges[I + 1];
+      T.Regions.push_back(Reg);
+      // Only the first region opened by an edge is canonical for it; a
+      // chain a,b,c yields (a,b) and (b,c) -- never (a,c).
+      T.EntryOf[Edges[I]] = R;
+      T.ExitOf[Edges[I + 1]] = R;
+    }
+  }
+
+  // -- Pass 3: replay the same DFS, assigning every traversed edge and
+  // every discovered node its innermost region, and wiring up parents.
+  // Exiting a region pops to that region's parent (already known: the
+  // entry edge dominates the exit edge, so it was traversed first);
+  // entering a region records the current region as its parent.
+  T.NodeRegion.assign(G.numNodes(), T.root());
+  T.EdgeRegion.assign(NumE, T.root());
+  {
+    std::vector<bool> Visited(G.numNodes(), false);
+    std::vector<std::pair<NodeId, uint32_t>> Stack;
+    Visited[G.entry()] = true;
+    T.NodeRegion[G.entry()] = T.root();
+    Stack.emplace_back(G.entry(), 0);
+    while (!Stack.empty()) {
+      auto &[V, Next] = Stack.back();
+      const auto &Succs = G.succEdges(V);
+      if (Next == Succs.size()) {
+        Stack.pop_back();
+        continue;
+      }
+      EdgeId E = Succs[Next++];
+      RegionId Cur = T.NodeRegion[V];
+      if (RegionId Exited = T.ExitOf[E]; Exited != InvalidRegion)
+        Cur = T.Regions[Exited].Parent;
+      if (RegionId Entered = T.EntryOf[E]; Entered != InvalidRegion) {
+        T.Regions[Entered].Parent = Cur;
+        T.Regions[Cur].Children.push_back(Entered);
+        T.Regions[Entered].Depth = T.Regions[Cur].Depth + 1;
+        Cur = Entered;
+      }
+      T.EdgeRegion[E] = Cur;
+      NodeId W = G.target(E);
+      if (!Visited[W]) {
+        Visited[W] = true;
+        T.NodeRegion[W] = Cur;
+        Stack.emplace_back(W, 0);
+      }
+    }
+  }
+
+  T.ImmediateNodes.assign(T.Regions.size(), {});
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    T.ImmediateNodes[T.NodeRegion[N]].push_back(N);
+  return T;
+}
+
+std::vector<NodeId> ProgramStructureTree::allNodes(RegionId R) const {
+  std::vector<NodeId> Out;
+  std::vector<RegionId> Work{R};
+  while (!Work.empty()) {
+    RegionId Cur = Work.back();
+    Work.pop_back();
+    const auto &Imm = ImmediateNodes[Cur];
+    Out.insert(Out.end(), Imm.begin(), Imm.end());
+    for (RegionId C : Regions[Cur].Children)
+      Work.push_back(C);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+bool ProgramStructureTree::contains(RegionId Outer, RegionId Inner) const {
+  while (Inner != InvalidRegion) {
+    if (Inner == Outer)
+      return true;
+    Inner = Regions[Inner].Parent;
+  }
+  return false;
+}

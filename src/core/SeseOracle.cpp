@@ -1,0 +1,105 @@
+//===- SeseOracle.cpp - Definition-level SESE oracle -------------------------===//
+//
+// Part of the PST library (see ProgramStructureTree.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/core/SeseOracle.h"
+
+#include "pst/cycleequiv/CycleEquivBrute.h"
+
+#include <algorithm>
+
+using namespace pst;
+
+bool pst::existsPathAvoidingEdge(const Cfg &G, NodeId From, NodeId To,
+                                 EdgeId Avoid) {
+  if (From == To)
+    return true;
+  std::vector<bool> Seen(G.numNodes(), false);
+  std::vector<NodeId> Work{From};
+  Seen[From] = true;
+  while (!Work.empty()) {
+    NodeId N = Work.back();
+    Work.pop_back();
+    for (EdgeId E : G.succEdges(N)) {
+      if (E == Avoid)
+        continue;
+      NodeId W = G.target(E);
+      if (W == To)
+        return true;
+      if (!Seen[W]) {
+        Seen[W] = true;
+        Work.push_back(W);
+      }
+    }
+  }
+  return false;
+}
+
+bool pst::edgeDominatesBrute(const Cfg &G, EdgeId A, EdgeId B) {
+  if (A == B)
+    return true;
+  // A path "reaching B" is a path from entry to source(B) followed by B;
+  // A fails to dominate iff such a path can avoid A.
+  return !existsPathAvoidingEdge(G, G.entry(), G.source(B), A);
+}
+
+bool pst::edgePostDominatesBrute(const Cfg &G, EdgeId B, EdgeId A) {
+  if (A == B)
+    return true;
+  return !existsPathAvoidingEdge(G, G.target(A), G.exit(), B);
+}
+
+bool pst::isSeseRegionBrute(const Cfg &G, EdgeId A, EdgeId B) {
+  if (A == B)
+    return false;
+  if (!edgeDominatesBrute(G, A, B))
+    return false;
+  if (!edgePostDominatesBrute(G, B, A))
+    return false;
+  // Condition 3: cycle equivalence *in G* (not in G + return edge).
+  return cycleEquivalentBrute(G, A, B);
+}
+
+bool pst::nodeInRegionBrute(const Cfg &G, EdgeId A, EdgeId B, NodeId N) {
+  return !existsPathAvoidingEdge(G, G.entry(), N, A) &&
+         !existsPathAvoidingEdge(G, N, G.exit(), B);
+}
+
+std::vector<std::pair<EdgeId, EdgeId>>
+pst::canonicalRegionsBrute(const Cfg &G) {
+  uint32_t E = G.numEdges();
+  // All SESE pairs, indexed by entry and by exit.
+  std::vector<std::vector<EdgeId>> ExitsOf(E), EntriesOf(E);
+  for (EdgeId A = 0; A < E; ++A)
+    for (EdgeId B = 0; B < E; ++B)
+      if (A != B && isSeseRegionBrute(G, A, B)) {
+        ExitsOf[A].push_back(B);
+        EntriesOf[B].push_back(A);
+      }
+
+  std::vector<std::pair<EdgeId, EdgeId>> Result;
+  for (EdgeId A = 0; A < E; ++A) {
+    for (EdgeId B : ExitsOf[A]) {
+      // Canonical: B dominates every other exit of A, and A postdominates
+      // every other entry of B (Definition 5).
+      bool Canon = true;
+      for (EdgeId B2 : ExitsOf[A])
+        if (!edgeDominatesBrute(G, B, B2)) {
+          Canon = false;
+          break;
+        }
+      if (Canon)
+        for (EdgeId A2 : EntriesOf[B])
+          if (!edgePostDominatesBrute(G, A, A2)) {
+            Canon = false;
+            break;
+          }
+      if (Canon)
+        Result.emplace_back(A, B);
+    }
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}

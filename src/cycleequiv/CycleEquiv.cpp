@@ -1,0 +1,362 @@
+//===- CycleEquiv.cpp - Linear cycle equivalence ---------------------------===//
+//
+// Part of the PST library (see CycleEquiv.h for the project reference).
+//
+// Implements the pseudocode of the paper's Figure 4 with these concrete
+// choices:
+//  * The DFS is iterative, so deep graphs cannot overflow the call stack.
+//  * Bracket lists are intrusive doubly-linked cells in one arena; concat
+//    is an O(1) splice; delete is O(1) via a back-pointer on each bracket.
+//  * Self loops cannot bracket anything (the cycle they form contains only
+//    themselves), so each gets a fresh singleton class and is excluded from
+//    the undirected DFS.
+//  * Nodes are processed in reverse DFS preorder, which visits every child
+//    before its parent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/cycleequiv/CycleEquiv.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace pst;
+
+namespace {
+
+constexpr uint32_t None = ~uint32_t(0);
+
+/// One undirected edge record: a real CFG edge, the artificial return edge,
+/// or a capping backedge created by the algorithm.
+struct ERec {
+  uint32_t Class = UndefinedClass;
+  /// Bracket-list size when this edge was most recently the topmost bracket
+  /// (0 = never; real sizes are >= 1).
+  uint32_t RecentSize = 0;
+  /// Class handed out when this edge was most recently the topmost bracket.
+  uint32_t RecentClass = UndefinedClass;
+  /// Arena cell currently holding this edge in some bracket list.
+  uint32_t Cell = None;
+};
+
+/// Doubly-linked list cell in the bracket arena.
+struct Cell {
+  uint32_t Rec = None;
+  uint32_t Prev = None;
+  uint32_t Next = None;
+};
+
+/// Head/tail/size view of one node's bracket list.
+struct BList {
+  uint32_t Head = None;
+  uint32_t Tail = None;
+  uint32_t Size = 0;
+};
+
+class CycleEquivSolver {
+public:
+  explicit CycleEquivSolver(const UndirectedGraphView &View)
+      : View(View),
+        NumRealEdges(static_cast<uint32_t>(View.Endpoints.size())) {}
+
+  CycleEquivResult run();
+
+private:
+  // -- Bracket list primitives (all O(1)) --------------------------------
+  uint32_t newCell(uint32_t RecId) {
+    Cells.push_back(Cell{RecId, None, None});
+    return static_cast<uint32_t>(Cells.size() - 1);
+  }
+
+  void push(BList &L, uint32_t RecId) {
+    uint32_t C = newCell(RecId);
+    Cells[C].Next = L.Head;
+    if (L.Head != None)
+      Cells[L.Head].Prev = C;
+    L.Head = C;
+    if (L.Tail == None)
+      L.Tail = C;
+    ++L.Size;
+    Recs[RecId].Cell = C;
+  }
+
+  void erase(BList &L, uint32_t RecId) {
+    uint32_t C = Recs[RecId].Cell;
+    assert(C != None && "bracket not on any list");
+    uint32_t P = Cells[C].Prev, N = Cells[C].Next;
+    if (P != None)
+      Cells[P].Next = N;
+    else
+      L.Head = N;
+    if (N != None)
+      Cells[N].Prev = P;
+    else
+      L.Tail = P;
+    --L.Size;
+    Recs[RecId].Cell = None;
+  }
+
+  /// Splices \p Src in front of \p Dst, emptying \p Src.
+  void concatInto(BList &Dst, BList &Src) {
+    if (Src.Head == None)
+      return;
+    if (Dst.Head == None) {
+      Dst = Src;
+    } else {
+      Cells[Src.Tail].Next = Dst.Head;
+      Cells[Dst.Head].Prev = Src.Tail;
+      Dst.Head = Src.Head;
+      Dst.Size += Src.Size;
+    }
+    Src = BList{};
+  }
+
+  uint32_t newClass() { return NextClass++; }
+
+  // -- Phases -------------------------------------------------------------
+  void buildAdjacency();
+  void undirectedDfs(NodeId Root);
+  void classifyEdges();
+  void processNodes();
+
+  NodeId endpointA(uint32_t E) const { return View.Endpoints[E].first; }
+  NodeId endpointB(uint32_t E) const { return View.Endpoints[E].second; }
+  uint32_t numNodes() const { return View.NumNodes; }
+
+  const UndirectedGraphView &View;
+  uint32_t NumRealEdges;
+
+  // Undirected adjacency: per node, (edge id, other endpoint).
+  std::vector<std::vector<std::pair<uint32_t, NodeId>>> Adj;
+  std::vector<uint32_t> SelfLoops; // Edge ids excluded from the DFS.
+
+  // DFS results.
+  std::vector<uint32_t> DfsNum;      // Preorder number per node.
+  std::vector<NodeId> Order;         // Order[i] = node with preorder i.
+  std::vector<uint32_t> ParentEdge;  // Undirected tree edge into node.
+  std::vector<std::vector<NodeId>> Children;
+
+  // Backedge incidence: by descendant endpoint (push site) and by ancestor
+  // endpoint (delete site).
+  std::vector<std::vector<uint32_t>> BackFrom, BackTo;
+  // Capping backedges registered for deletion at their ancestor endpoint.
+  std::vector<std::vector<uint32_t>> CappingTo;
+
+  std::vector<ERec> Recs;
+  std::vector<Cell> Cells;
+  std::vector<BList> Lists; // One bracket list per node.
+  std::vector<uint32_t> Hi; // Min dfsnum reachable from the node's subtree.
+
+  uint32_t NextClass = 0;
+};
+
+void CycleEquivSolver::buildAdjacency() {
+  Adj.assign(numNodes(), {});
+  for (uint32_t E = 0; E < NumRealEdges; ++E) {
+    NodeId A = endpointA(E), B = endpointB(E);
+    if (A == B) {
+      SelfLoops.push_back(E);
+      continue;
+    }
+    Adj[A].emplace_back(E, B);
+    Adj[B].emplace_back(E, A);
+  }
+}
+
+void CycleEquivSolver::undirectedDfs(NodeId Root) {
+  uint32_t N = numNodes();
+  DfsNum.assign(N, None);
+  ParentEdge.assign(N, None);
+  Order.clear();
+  Order.reserve(N);
+
+  std::vector<std::pair<NodeId, uint32_t>> Stack;
+  std::vector<bool> EdgeUsed(NumRealEdges, false);
+
+  DfsNum[Root] = 0;
+  Order.push_back(Root);
+  Stack.emplace_back(Root, 0);
+  while (!Stack.empty()) {
+    auto &[V, Next] = Stack.back();
+    if (Next == Adj[V].size()) {
+      Stack.pop_back();
+      continue;
+    }
+    auto [E, W] = Adj[V][Next++];
+    if (EdgeUsed[E])
+      continue;
+    if (DfsNum[W] != None)
+      continue; // Non-tree edge; classified later.
+    EdgeUsed[E] = true;
+    DfsNum[W] = static_cast<uint32_t>(Order.size());
+    Order.push_back(W);
+    ParentEdge[W] = E;
+    Stack.emplace_back(W, 0);
+  }
+
+  Children.assign(N, {});
+  for (NodeId V : Order) {
+    if (ParentEdge[V] == None)
+      continue;
+    uint32_t E = ParentEdge[V];
+    NodeId P = endpointA(E) == V ? endpointB(E) : endpointA(E);
+    Children[P].push_back(V);
+  }
+}
+
+void CycleEquivSolver::classifyEdges() {
+  uint32_t N = numNodes();
+  BackFrom.assign(N, {});
+  BackTo.assign(N, {});
+  CappingTo.assign(N, {});
+  for (uint32_t E = 0; E < NumRealEdges; ++E) {
+    NodeId A = endpointA(E), B = endpointB(E);
+    if (A == B)
+      continue; // Self loop.
+    if (DfsNum[A] == None || DfsNum[B] == None)
+      continue; // Disconnected input (documented precondition violation).
+    if (ParentEdge[A] == E || ParentEdge[B] == E)
+      continue; // Tree edge.
+    // In an undirected DFS every non-tree edge joins a node to an ancestor.
+    NodeId Desc = DfsNum[A] > DfsNum[B] ? A : B;
+    NodeId Anc = Desc == A ? B : A;
+    BackFrom[Desc].push_back(E);
+    BackTo[Anc].push_back(E);
+  }
+}
+
+void CycleEquivSolver::processNodes() {
+  uint32_t N = numNodes();
+  constexpr uint32_t Inf = std::numeric_limits<uint32_t>::max();
+  Hi.assign(N, Inf);
+  Lists.assign(N, BList{});
+  Recs.assign(NumRealEdges, ERec{});
+  Cells.reserve(NumRealEdges + N);
+
+  // Reverse preorder visits children before parents.
+  for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+    NodeId V = *It;
+
+    // hi0: highest (smallest dfsnum) destination of a backedge from V.
+    uint32_t Hi0 = Inf;
+    for (uint32_t E : BackFrom[V]) {
+      NodeId Anc = DfsNum[endpointA(E)] < DfsNum[endpointB(E)]
+                       ? endpointA(E)
+                       : endpointB(E);
+      Hi0 = std::min(Hi0, DfsNum[Anc]);
+    }
+    // hi1/hi2: highest and second-highest reach among the children.
+    uint32_t Hi1 = Inf, Hi2 = Inf;
+    for (NodeId C : Children[V]) {
+      uint32_t H = Hi[C];
+      if (H < Hi1) {
+        Hi2 = Hi1;
+        Hi1 = H;
+      } else if (H < Hi2) {
+        Hi2 = H;
+      }
+    }
+    Hi[V] = std::min(Hi0, Hi1);
+
+    // Assemble V's bracket list from the children's lists.
+    BList &L = Lists[V];
+    for (NodeId C : Children[V])
+      concatInto(L, Lists[C]);
+
+    // Delete capping backedges ending here.
+    for (uint32_t D : CappingTo[V])
+      erase(L, D);
+    // Delete ordinary backedges ending here; a backedge that was never a
+    // topmost bracket still needs a class of its own.
+    for (uint32_t B : BackTo[V]) {
+      erase(L, B);
+      if (Recs[B].Class == UndefinedClass)
+        Recs[B].Class = newClass();
+    }
+    // Push backedges leaving V toward ancestors.
+    for (uint32_t E : BackFrom[V])
+      push(L, E);
+
+    // Insert a capping backedge when brackets from two subtrees both out-
+    // live V: it masks the mixed prefix up to the second-highest reach.
+    // The guard Hi2 < DfsNum[V] is a necessary correction to the paper's
+    // Figure 4 (which only tests hi2 < hi0): when the second-highest child
+    // reach is V itself or deeper, those brackets die at or below V, no
+    // masking is needed, and a capping edge could never be deleted.
+    if (Hi2 < Hi0 && Hi2 < DfsNum[V]) {
+      uint32_t D = static_cast<uint32_t>(Recs.size());
+      Recs.push_back(ERec{});
+      push(L, D);
+      NodeId AncNode = Order[Hi2]; // A proper ancestor, by the guard above.
+      CappingTo[AncNode].push_back(D);
+    }
+
+    // Name the equivalence class of the tree edge into V.
+    uint32_t PE = ParentEdge[V];
+    if (PE == None)
+      continue; // DFS root.
+    if (L.Size == 0) {
+      // Bridge edge: only possible if the input was not strongly
+      // connected. Give it a class so callers still get a partition.
+      Recs[PE].Class = newClass();
+      continue;
+    }
+    ERec &Top = Recs[Cells[L.Head].Rec];
+    if (Top.RecentSize != L.Size) {
+      Top.RecentSize = L.Size;
+      Top.RecentClass = newClass();
+    }
+    Recs[PE].Class = Top.RecentClass;
+    // A tree edge with exactly one bracket is cycle equivalent to it
+    // (Theorem 4).
+    if (Top.RecentSize == 1)
+      Top.Class = Recs[PE].Class;
+  }
+}
+
+CycleEquivResult CycleEquivSolver::run() {
+  CycleEquivResult R;
+  if (numNodes() == 0) {
+    R.EdgeClass.assign(NumRealEdges, UndefinedClass);
+    return R;
+  }
+
+  buildAdjacency();
+  undirectedDfs(View.Root < numNodes() ? View.Root : 0);
+  classifyEdges();
+  processNodes();
+
+  R.EdgeClass.assign(NumRealEdges, UndefinedClass);
+  for (uint32_t E = 0; E < NumRealEdges; ++E)
+    R.EdgeClass[E] = Recs[E].Class;
+  for (uint32_t E : SelfLoops)
+    R.EdgeClass[E] = NextClass++;
+  // Defensive: edges of a disconnected component never got processed.
+  for (uint32_t E = 0; E < NumRealEdges; ++E)
+    if (R.EdgeClass[E] == UndefinedClass)
+      R.EdgeClass[E] = NextClass++;
+  R.NumClasses = NextClass;
+  return R;
+}
+
+} // namespace
+
+CycleEquivResult pst::computeCycleEquivalenceRaw(
+    const UndirectedGraphView &View) {
+  return CycleEquivSolver(View).run();
+}
+
+CycleEquivResult pst::computeCycleEquivalence(const Cfg &G,
+                                              bool AddReturnEdge) {
+  UndirectedGraphView View;
+  View.NumNodes = G.numNodes();
+  View.Root = G.entry() != InvalidNode ? G.entry() : 0;
+  View.Endpoints.reserve(G.numEdges() + (AddReturnEdge ? 1 : 0));
+  for (EdgeId E = 0; E < G.numEdges(); ++E)
+    View.Endpoints.emplace_back(G.source(E), G.target(E));
+  if (AddReturnEdge)
+    View.Endpoints.emplace_back(G.exit(), G.entry());
+  CycleEquivResult R = computeCycleEquivalenceRaw(View);
+  R.HasReturnEdge = AddReturnEdge;
+  return R;
+}

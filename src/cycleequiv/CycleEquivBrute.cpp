@@ -1,0 +1,87 @@
+//===- CycleEquivBrute.cpp - Definition oracle ------------------------------===//
+//
+// Part of the PST library (see CycleEquiv.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/cycleequiv/CycleEquivBrute.h"
+
+#include <unordered_map>
+
+using namespace pst;
+
+Cfg pst::withReturnEdge(const Cfg &G) {
+  Cfg S = G;
+  S.addEdge(G.exit(), G.entry());
+  return S;
+}
+
+bool pst::existsCycleThroughAvoiding(const Cfg &S, EdgeId Through,
+                                     EdgeId Avoiding) {
+  if (Through == Avoiding)
+    return false;
+  // A cycle through edge (u,v) avoiding f exists iff v reaches u without
+  // traversing f.
+  NodeId From = S.target(Through), To = S.source(Through);
+  std::vector<bool> Seen(S.numNodes(), false);
+  std::vector<NodeId> Work{From};
+  Seen[From] = true;
+  while (!Work.empty()) {
+    NodeId N = Work.back();
+    Work.pop_back();
+    if (N == To)
+      return true;
+    for (EdgeId E : S.succEdges(N)) {
+      if (E == Avoiding)
+        continue;
+      NodeId W = S.target(E);
+      if (!Seen[W]) {
+        Seen[W] = true;
+        Work.push_back(W);
+      }
+    }
+  }
+  return false;
+}
+
+bool pst::cycleEquivalentBrute(const Cfg &S, EdgeId A, EdgeId B) {
+  if (A == B)
+    return true;
+  return !existsCycleThroughAvoiding(S, A, B) &&
+         !existsCycleThroughAvoiding(S, B, A);
+}
+
+CycleEquivResult pst::computeCycleEquivalenceBrute(const Cfg &G,
+                                                   bool AddReturnEdge) {
+  Cfg S = AddReturnEdge ? withReturnEdge(G) : G;
+  uint32_t E = S.numEdges();
+  CycleEquivResult R;
+  R.HasReturnEdge = AddReturnEdge;
+  R.EdgeClass.assign(E, UndefinedClass);
+  uint32_t Next = 0;
+  for (EdgeId I = 0; I < E; ++I) {
+    if (R.EdgeClass[I] != UndefinedClass)
+      continue;
+    uint32_t C = Next++;
+    R.EdgeClass[I] = C;
+    // Cycle equivalence is transitive on a strongly connected graph, so one
+    // sweep against the representative suffices.
+    for (EdgeId J = I + 1; J < E; ++J)
+      if (R.EdgeClass[J] == UndefinedClass && cycleEquivalentBrute(S, I, J))
+        R.EdgeClass[J] = C;
+  }
+  R.NumClasses = Next;
+  return R;
+}
+
+std::vector<uint32_t>
+pst::canonicalizePartition(const std::vector<uint32_t> &Classes) {
+  std::unordered_map<uint32_t, uint32_t> Rename;
+  std::vector<uint32_t> Out;
+  Out.reserve(Classes.size());
+  for (uint32_t C : Classes) {
+    auto It = Rename.try_emplace(C, static_cast<uint32_t>(Rename.size())).first;
+    Out.push_back(It->second);
+  }
+  return Out;
+}

@@ -1,0 +1,170 @@
+//===- Problems.cpp - Classic bitvector problems --------------------------------===//
+//
+// Part of the PST library (see Dataflow.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/dataflow/Problems.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace pst;
+
+BitVectorProblem pst::makeReachingDefs(const LoweredFunction &F,
+                                       std::vector<VarId> *DefVarOut) {
+  const Cfg &G = F.Graph;
+  // Enumerate definition bits.
+  std::vector<VarId> DefVar;
+  std::vector<std::vector<uint32_t>> BitsOfVar(F.numVars());
+  std::vector<std::vector<uint32_t>> BlockDefBits(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    for (const Instruction &I : F.Code[N]) {
+      if (I.Def == InvalidVar)
+        continue;
+      uint32_t Bit = static_cast<uint32_t>(DefVar.size());
+      DefVar.push_back(I.Def);
+      BitsOfVar[I.Def].push_back(Bit);
+      BlockDefBits[N].push_back(Bit);
+    }
+  }
+
+  BitVectorProblem P;
+  P.NumBits = static_cast<uint32_t>(DefVar.size());
+  P.Meet = BitVectorProblem::MeetKind::Union;
+  P.Boundary = BitVector(P.NumBits);
+  P.Transfer.assign(G.numNodes(), GenKill{BitVector(P.NumBits),
+                                          BitVector(P.NumBits)});
+
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    GenKill &T = P.Transfer[N];
+    for (uint32_t Bit : BlockDefBits[N]) {
+      VarId V = DefVar[Bit];
+      for (uint32_t Other : BitsOfVar[V]) {
+        T.Gen.reset(Other);
+        T.Kill.set(Other);
+      }
+      T.Gen.set(Bit);
+    }
+    T.Kill.subtract(T.Gen);
+  }
+  if (DefVarOut)
+    *DefVarOut = std::move(DefVar);
+  return P;
+}
+
+BitVectorProblem pst::makeLiveVariables(const LoweredFunction &F) {
+  const Cfg &G = F.Graph;
+  BitVectorProblem P;
+  P.NumBits = F.numVars();
+  P.Meet = BitVectorProblem::MeetKind::Union;
+  P.Boundary = BitVector(P.NumBits); // Nothing live past the exit.
+  P.Transfer.assign(G.numNodes(), GenKill{BitVector(P.NumBits),
+                                          BitVector(P.NumBits)});
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    BitVector Use(P.NumBits), Def(P.NumBits);
+    for (const Instruction &I : F.Code[N]) {
+      for (VarId U : I.Uses)
+        if (!Def.test(U))
+          Use.set(U);
+      if (I.Def != InvalidVar)
+        Def.set(I.Def);
+    }
+    P.Transfer[N].Gen = std::move(Use);
+    P.Transfer[N].Kill = std::move(Def);
+    P.Transfer[N].Kill.subtract(P.Transfer[N].Gen);
+  }
+  return P;
+}
+
+/// Extracts the printed RHS of an assignment ("x = a + b" -> "a + b").
+static std::string rhsKeyOf(const Instruction &I) {
+  if ((I.K != Instruction::Kind::Assign) || I.Uses.empty())
+    return "";
+  size_t Pos = I.Text.find(" = ");
+  if (Pos == std::string::npos)
+    return "";
+  return I.Text.substr(Pos + 3);
+}
+
+std::vector<std::string> pst::expressionKeys(const LoweredFunction &F) {
+  std::vector<std::string> Keys;
+  for (NodeId N = 0; N < F.Graph.numNodes(); ++N)
+    for (const Instruction &I : F.Code[N]) {
+      std::string K = rhsKeyOf(I);
+      if (!K.empty())
+        Keys.push_back(std::move(K));
+    }
+  std::sort(Keys.begin(), Keys.end());
+  Keys.erase(std::unique(Keys.begin(), Keys.end()), Keys.end());
+  return Keys;
+}
+
+namespace {
+
+/// Shared construction for (multi- or single-bit) available expressions.
+BitVectorProblem makeAvailability(const LoweredFunction &F,
+                                  const std::vector<std::string> &Keys) {
+  const Cfg &G = F.Graph;
+  std::map<std::string, uint32_t> BitOf;
+  for (uint32_t I = 0; I < Keys.size(); ++I)
+    BitOf[Keys[I]] = I;
+
+  // Which expression bits use each variable (for kill sets).
+  std::vector<std::vector<uint32_t>> ExprsUsing(F.numVars());
+  {
+    std::vector<bool> Seen(Keys.size(), false);
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      for (const Instruction &I : F.Code[N]) {
+        auto It = BitOf.find(rhsKeyOf(I));
+        if (It == BitOf.end() || Seen[It->second])
+          continue;
+        Seen[It->second] = true;
+        for (VarId U : I.Uses)
+          ExprsUsing[U].push_back(It->second);
+      }
+  }
+
+  BitVectorProblem P;
+  P.NumBits = static_cast<uint32_t>(Keys.size());
+  P.Meet = BitVectorProblem::MeetKind::Intersect;
+  P.Boundary = BitVector(P.NumBits); // Nothing available on entry.
+  P.Transfer.assign(G.numNodes(), GenKill{BitVector(P.NumBits),
+                                          BitVector(P.NumBits)});
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    GenKill &T = P.Transfer[N];
+    for (const Instruction &I : F.Code[N]) {
+      // The RHS is computed first...
+      auto It = BitOf.find(rhsKeyOf(I));
+      if (It != BitOf.end()) {
+        T.Gen.set(It->second);
+        T.Kill.reset(It->second);
+      }
+      // ...then the definition kills everything built from the target.
+      if (I.Def != InvalidVar)
+        for (uint32_t Bit : ExprsUsing[I.Def]) {
+          T.Gen.reset(Bit);
+          T.Kill.set(Bit);
+        }
+    }
+  }
+  return P;
+}
+
+} // namespace
+
+BitVectorProblem
+pst::makeAvailableExpressions(const LoweredFunction &F,
+                              std::vector<std::string> *KeysOut) {
+  std::vector<std::string> Keys = expressionKeys(F);
+  BitVectorProblem P = makeAvailability(F, Keys);
+  if (KeysOut)
+    *KeysOut = std::move(Keys);
+  return P;
+}
+
+BitVectorProblem
+pst::makeSingleExprAvailability(const LoweredFunction &F,
+                                const std::string &Key) {
+  return makeAvailability(F, {Key});
+}

@@ -1,0 +1,271 @@
+//===- Ast.cpp - MiniLang abstract syntax --------------------------------------===//
+//
+// Part of the PST library (see Lexer.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/lang/Ast.h"
+
+#include <sstream>
+
+using namespace pst;
+
+const char *pst::opSpelling(OpKind K) {
+  switch (K) {
+  case OpKind::Add:
+    return "+";
+  case OpKind::Sub:
+    return "-";
+  case OpKind::Mul:
+    return "*";
+  case OpKind::Div:
+    return "/";
+  case OpKind::Rem:
+    return "%";
+  case OpKind::Eq:
+    return "==";
+  case OpKind::Ne:
+    return "!=";
+  case OpKind::Lt:
+    return "<";
+  case OpKind::Le:
+    return "<=";
+  case OpKind::Gt:
+    return ">";
+  case OpKind::Ge:
+    return ">=";
+  case OpKind::And:
+    return "&&";
+  case OpKind::Or:
+    return "||";
+  case OpKind::Neg:
+    return "-";
+  case OpKind::Not:
+    return "!";
+  }
+  return "?";
+}
+
+ExprPtr pst::makeNumber(int64_t V, uint32_t Line) {
+  auto E = std::make_unique<Expr>(ExprKind::Number);
+  E->Value = V;
+  E->Line = Line;
+  return E;
+}
+
+ExprPtr pst::makeVarRef(std::string Name, uint32_t Line) {
+  auto E = std::make_unique<Expr>(ExprKind::VarRef);
+  E->Name = std::move(Name);
+  E->Line = Line;
+  return E;
+}
+
+ExprPtr pst::makeUnary(OpKind Op, ExprPtr Operand, uint32_t Line) {
+  auto E = std::make_unique<Expr>(ExprKind::Unary);
+  E->Op = Op;
+  E->Lhs = std::move(Operand);
+  E->Line = Line;
+  return E;
+}
+
+ExprPtr pst::makeBinary(OpKind Op, ExprPtr L, ExprPtr R, uint32_t Line) {
+  auto E = std::make_unique<Expr>(ExprKind::Binary);
+  E->Op = Op;
+  E->Lhs = std::move(L);
+  E->Rhs = std::move(R);
+  E->Line = Line;
+  return E;
+}
+
+ExprPtr pst::makeCall(std::string Callee, std::vector<ExprPtr> Args,
+                      uint32_t Line) {
+  auto E = std::make_unique<Expr>(ExprKind::Call);
+  E->Name = std::move(Callee);
+  E->Args = std::move(Args);
+  E->Line = Line;
+  return E;
+}
+
+std::string pst::formatExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return std::to_string(E.Value);
+  case ExprKind::VarRef:
+    return E.Name;
+  case ExprKind::Unary:
+    return std::string(opSpelling(E.Op)) + formatExpr(*E.Lhs);
+  case ExprKind::Binary:
+    return "(" + formatExpr(*E.Lhs) + " " + opSpelling(E.Op) + " " +
+           formatExpr(*E.Rhs) + ")";
+  case ExprKind::Call: {
+    std::string S = E.Name + "(";
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += formatExpr(*E.Args[I]);
+    }
+    return S + ")";
+  }
+  }
+  return "?";
+}
+
+ExprPtr pst::cloneExpr(const Expr &E) {
+  auto C = std::make_unique<Expr>(E.Kind);
+  C->Line = E.Line;
+  C->Value = E.Value;
+  C->Name = E.Name;
+  C->Op = E.Op;
+  if (E.Lhs)
+    C->Lhs = cloneExpr(*E.Lhs);
+  if (E.Rhs)
+    C->Rhs = cloneExpr(*E.Rhs);
+  for (const auto &A : E.Args)
+    C->Args.push_back(cloneExpr(*A));
+  return C;
+}
+
+void pst::collectUses(const Expr &E, std::vector<std::string> &Out) {
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return;
+  case ExprKind::VarRef:
+    Out.push_back(E.Name);
+    return;
+  case ExprKind::Unary:
+    collectUses(*E.Lhs, Out);
+    return;
+  case ExprKind::Binary:
+    collectUses(*E.Lhs, Out);
+    collectUses(*E.Rhs, Out);
+    return;
+  case ExprKind::Call:
+    for (const auto &A : E.Args)
+      collectUses(*A, Out);
+    return;
+  }
+}
+
+static void formatStmtInto(const Stmt &S, unsigned Indent,
+                           std::ostringstream &OS) {
+  std::string Pad(Indent * 2, ' ');
+  auto Sub = [&](const Stmt &Child, unsigned Extra = 1) {
+    formatStmtInto(Child, Indent + Extra, OS);
+  };
+  switch (S.Kind) {
+  case StmtKind::Block:
+    OS << Pad << "{\n";
+    for (const auto &C : S.Body)
+      formatStmtInto(*C, Indent + 1, OS);
+    OS << Pad << "}\n";
+    return;
+  case StmtKind::VarDecl:
+    OS << Pad << "var " << S.Name;
+    if (S.Value)
+      OS << " = " << formatExpr(*S.Value);
+    OS << ";\n";
+    return;
+  case StmtKind::Assign:
+    OS << Pad << S.Name << " = " << formatExpr(*S.Value) << ";\n";
+    return;
+  case StmtKind::ExprStmt:
+    OS << Pad << formatExpr(*S.Value) << ";\n";
+    return;
+  case StmtKind::If:
+    OS << Pad << "if (" << formatExpr(*S.Value) << ")\n";
+    Sub(*S.Then);
+    if (S.Else) {
+      OS << Pad << "else\n";
+      Sub(*S.Else);
+    }
+    return;
+  case StmtKind::While:
+    OS << Pad << "while (" << formatExpr(*S.Value) << ")\n";
+    Sub(*S.Then);
+    return;
+  case StmtKind::DoWhile:
+    OS << Pad << "do\n";
+    Sub(*S.Then);
+    OS << Pad << "while (" << formatExpr(*S.Value) << ");\n";
+    return;
+  case StmtKind::For:
+    OS << Pad << "for (";
+    if (S.Init)
+      OS << S.Init->Name << " = " << formatExpr(*S.Init->Value);
+    OS << "; ";
+    if (S.Value)
+      OS << formatExpr(*S.Value);
+    OS << "; ";
+    if (S.Step)
+      OS << S.Step->Name << " = " << formatExpr(*S.Step->Value);
+    OS << ")\n";
+    Sub(*S.Then);
+    return;
+  case StmtKind::Switch:
+    OS << Pad << "switch (" << formatExpr(*S.Value) << ") {\n";
+    for (const auto &Arm : S.Arms) {
+      if (Arm.HasValue)
+        OS << Pad << "case " << Arm.Value << ":\n";
+      else
+        OS << Pad << "default:\n";
+      for (const auto &C : Arm.Body)
+        formatStmtInto(*C, Indent + 1, OS);
+    }
+    OS << Pad << "}\n";
+    return;
+  case StmtKind::Break:
+    OS << Pad << "break;\n";
+    return;
+  case StmtKind::Continue:
+    OS << Pad << "continue;\n";
+    return;
+  case StmtKind::Return:
+    OS << Pad << "return";
+    if (S.Value)
+      OS << " " << formatExpr(*S.Value);
+    OS << ";\n";
+    return;
+  case StmtKind::Goto:
+    OS << Pad << "goto " << S.Name << ";\n";
+    return;
+  case StmtKind::Label:
+    OS << Pad << S.Name << ":\n";
+    return;
+  }
+}
+
+std::string pst::formatStmt(const Stmt &S, unsigned Indent) {
+  std::ostringstream OS;
+  formatStmtInto(S, Indent, OS);
+  return OS.str();
+}
+
+std::string pst::formatFunction(const Function &F) {
+  std::ostringstream OS;
+  OS << "func " << F.Name << "(";
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << F.Params[I];
+  }
+  OS << ")\n" << formatStmt(*F.Body);
+  return OS.str();
+}
+
+uint32_t pst::countStatements(const Stmt &S) {
+  uint32_t N = S.Kind == StmtKind::Block ? 0 : 1;
+  auto Add = [&](const StmtPtr &P) {
+    if (P)
+      N += countStatements(*P);
+  };
+  for (const auto &C : S.Body)
+    N += countStatements(*C);
+  Add(S.Then);
+  Add(S.Else);
+  Add(S.Init);
+  Add(S.Step);
+  for (const auto &Arm : S.Arms)
+    for (const auto &C : Arm.Body)
+      N += countStatements(*C);
+  return N;
+}

@@ -1,0 +1,346 @@
+//===- Interp.cpp - MiniLang interpreters ---------------------------------------===//
+//
+// Part of the PST library (see Lexer.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/lang/Interp.h"
+
+#include "pst/lang/Ast.h"
+
+#include <cassert>
+#include <map>
+
+using namespace pst;
+
+int64_t pst::evalBuiltinCall(const std::string &Callee,
+                             const std::vector<int64_t> &Args) {
+  // A deterministic pure mix so both interpreters agree exactly.
+  uint64_t H = 0x9e3779b97f4a7c15ULL;
+  for (char C : Callee)
+    H = (H ^ static_cast<uint64_t>(C)) * 0x100000001b3ULL;
+  for (int64_t A : Args)
+    H = (H ^ static_cast<uint64_t>(A)) * 0x100000001b3ULL;
+  return static_cast<int64_t>(H >> 8) % 1000;
+}
+
+namespace {
+
+/// Wrapping arithmetic with total division.
+int64_t applyBinary(OpKind Op, int64_t L, int64_t R) {
+  auto U = [](int64_t X) { return static_cast<uint64_t>(X); };
+  switch (Op) {
+  case OpKind::Add:
+    return static_cast<int64_t>(U(L) + U(R));
+  case OpKind::Sub:
+    return static_cast<int64_t>(U(L) - U(R));
+  case OpKind::Mul:
+    return static_cast<int64_t>(U(L) * U(R));
+  case OpKind::Div:
+    if (R == 0)
+      return 0;
+    if (L == INT64_MIN && R == -1)
+      return L; // Wraps; avoids UB.
+    return L / R;
+  case OpKind::Rem:
+    if (R == 0)
+      return 0;
+    if (L == INT64_MIN && R == -1)
+      return 0;
+    return L % R;
+  case OpKind::Eq:
+    return L == R;
+  case OpKind::Ne:
+    return L != R;
+  case OpKind::Lt:
+    return L < R;
+  case OpKind::Le:
+    return L <= R;
+  case OpKind::Gt:
+    return L > R;
+  case OpKind::Ge:
+    return L >= R;
+  case OpKind::And:
+    return (L != 0 && R != 0) ? 1 : 0;
+  case OpKind::Or:
+    return (L != 0 || R != 0) ? 1 : 0;
+  case OpKind::Neg:
+  case OpKind::Not:
+    break;
+  }
+  assert(false && "unary operator in binary evaluation");
+  return 0;
+}
+
+/// Evaluates \p E against an environment lookup callback.
+template <typename LookupT>
+int64_t evalExpr(const Expr &E, const LookupT &Lookup) {
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return E.Value;
+  case ExprKind::VarRef:
+    return Lookup(E.Name);
+  case ExprKind::Unary: {
+    int64_t V = evalExpr(*E.Lhs, Lookup);
+    return E.Op == OpKind::Neg
+               ? static_cast<int64_t>(-static_cast<uint64_t>(V))
+               : (V == 0 ? 1 : 0);
+  }
+  case ExprKind::Binary:
+    return applyBinary(E.Op, evalExpr(*E.Lhs, Lookup),
+                       evalExpr(*E.Rhs, Lookup));
+  case ExprKind::Call: {
+    std::vector<int64_t> Args;
+    Args.reserve(E.Args.size());
+    for (const auto &A : E.Args)
+      Args.push_back(evalExpr(*A, Lookup));
+    return evalBuiltinCall(E.Name, Args);
+  }
+  }
+  return 0;
+}
+
+/// AST walker state.
+struct AstInterp {
+  std::map<std::string, int64_t> Env;
+  uint64_t Steps = 0, MaxSteps;
+  bool OutOfBudget = false, Unsupported = false;
+  int64_t ReturnValue = 0;
+
+  enum class Signal { None, Break, Continue, Return };
+
+  explicit AstInterp(uint64_t MaxSteps) : MaxSteps(MaxSteps) {}
+
+  int64_t eval(const Expr &E) {
+    return evalExpr(E, [this](const std::string &N) {
+      auto It = Env.find(N);
+      return It == Env.end() ? int64_t(0) : It->second;
+    });
+  }
+
+  bool tick() {
+    if (++Steps > MaxSteps) {
+      OutOfBudget = true;
+      return false;
+    }
+    return true;
+  }
+
+  Signal exec(const Stmt &S) {
+    if (OutOfBudget || Unsupported)
+      return Signal::Return;
+    switch (S.Kind) {
+    case StmtKind::Block:
+      for (const auto &C : S.Body) {
+        Signal Sig = exec(*C);
+        if (Sig != Signal::None)
+          return Sig;
+      }
+      return Signal::None;
+    case StmtKind::VarDecl:
+      if (!tick())
+        return Signal::Return;
+      Env[S.Name] = S.Value ? eval(*S.Value) : 0;
+      return Signal::None;
+    case StmtKind::Assign:
+      if (!tick())
+        return Signal::Return;
+      Env[S.Name] = eval(*S.Value);
+      return Signal::None;
+    case StmtKind::ExprStmt:
+      if (!tick())
+        return Signal::Return;
+      eval(*S.Value);
+      return Signal::None;
+    case StmtKind::If:
+      if (!tick())
+        return Signal::Return;
+      if (eval(*S.Value) != 0)
+        return exec(*S.Then);
+      if (S.Else)
+        return exec(*S.Else);
+      return Signal::None;
+    case StmtKind::While:
+      while (true) {
+        if (!tick())
+          return Signal::Return;
+        if (eval(*S.Value) == 0)
+          return Signal::None;
+        Signal Sig = exec(*S.Then);
+        if (Sig == Signal::Break)
+          return Signal::None;
+        if (Sig == Signal::Return)
+          return Sig;
+      }
+    case StmtKind::DoWhile:
+      while (true) {
+        Signal Sig = exec(*S.Then);
+        if (Sig == Signal::Break)
+          return Signal::None;
+        if (Sig == Signal::Return)
+          return Sig;
+        if (!tick())
+          return Signal::Return;
+        if (eval(*S.Value) == 0)
+          return Signal::None;
+      }
+    case StmtKind::For: {
+      if (S.Init) {
+        if (!tick())
+          return Signal::Return;
+        Env[S.Init->Name] = eval(*S.Init->Value);
+      }
+      while (true) {
+        if (!tick())
+          return Signal::Return;
+        if (S.Value && eval(*S.Value) == 0)
+          return Signal::None;
+        Signal Sig = exec(*S.Then);
+        if (Sig == Signal::Break)
+          return Signal::None;
+        if (Sig == Signal::Return)
+          return Sig;
+        if (S.Step) {
+          if (!tick())
+            return Signal::Return;
+          Env[S.Step->Name] = eval(*S.Step->Value);
+        }
+      }
+    }
+    case StmtKind::Switch: {
+      if (!tick())
+        return Signal::Return;
+      int64_t Sel = eval(*S.Value);
+      const SwitchArm *Chosen = nullptr;
+      const SwitchArm *Default = nullptr;
+      for (const auto &Arm : S.Arms) {
+        if (!Arm.HasValue)
+          Default = &Arm;
+        else if (Arm.Value == Sel && !Chosen)
+          Chosen = &Arm;
+      }
+      if (!Chosen)
+        Chosen = Default;
+      if (Chosen)
+        for (const auto &C : Chosen->Body) {
+          Signal Sig = exec(*C);
+          if (Sig != Signal::None)
+            return Sig;
+        }
+      return Signal::None;
+    }
+    case StmtKind::Break:
+      return Signal::Break;
+    case StmtKind::Continue:
+      return Signal::Continue;
+    case StmtKind::Return:
+      if (!tick())
+        return Signal::Return;
+      ReturnValue = S.Value ? eval(*S.Value) : 0;
+      return Signal::Return;
+    case StmtKind::Goto:
+    case StmtKind::Label:
+      Unsupported = true;
+      return Signal::Return;
+    }
+    return Signal::None;
+  }
+};
+
+} // namespace
+
+ExecResult pst::runAst(const Function &F, const std::vector<int64_t> &Args,
+                       uint64_t MaxSteps) {
+  AstInterp I(MaxSteps);
+  for (size_t K = 0; K < F.Params.size(); ++K)
+    I.Env[F.Params[K]] = K < Args.size() ? Args[K] : 0;
+  AstInterp::Signal Sig = I.exec(*F.Body);
+  ExecResult R;
+  R.Steps = I.Steps;
+  R.Finished = !I.OutOfBudget && !I.Unsupported;
+  // Implicit `return 0` when control falls off the end.
+  R.ReturnValue = (R.Finished && Sig == AstInterp::Signal::Return)
+                      ? I.ReturnValue
+                      : 0;
+  return R;
+}
+
+CfgExecResult pst::runLowered(const LoweredFunction &F,
+                              const std::vector<int64_t> &Args,
+                              uint64_t MaxSteps) {
+  const Cfg &G = F.Graph;
+  CfgExecResult R;
+  R.BlockCounts.assign(G.numNodes(), 0);
+
+  std::vector<int64_t> Env(F.numVars(), 0);
+  std::map<std::string, VarId> ByName;
+  for (VarId V = 0; V < F.numVars(); ++V)
+    ByName[F.VarNames[V]] = V;
+  auto Lookup = [&](const std::string &N) -> int64_t {
+    auto It = ByName.find(N);
+    return It == ByName.end() ? 0 : Env[It->second];
+  };
+
+  NodeId Cur = G.entry();
+  int64_t ReturnValue = 0;
+  uint64_t ParamIdx = 0;
+  while (true) {
+    ++R.BlockCounts[Cur];
+    if (Cur == G.exit()) {
+      R.Finished = true;
+      R.ReturnValue = ReturnValue;
+      return R;
+    }
+
+    // Execute the block and decide the outgoing edge.
+    uint32_t TakenSucc = 0;
+    for (const Instruction &I : F.Code[Cur]) {
+      if (++R.Steps > MaxSteps)
+        return R; // Finished stays false.
+      switch (I.K) {
+      case Instruction::Kind::Param:
+        Env[I.Def] = ParamIdx < Args.size()
+                         ? Args[ParamIdx]
+                         : 0;
+        ++ParamIdx;
+        break;
+      case Instruction::Kind::Assign:
+        Env[I.Def] = evalExpr(*I.Rhs, Lookup);
+        break;
+      case Instruction::Kind::Call:
+        evalExpr(*I.Rhs, Lookup);
+        break;
+      case Instruction::Kind::CondBranch:
+        TakenSucc = evalExpr(*I.Rhs, Lookup) != 0 ? 0 : 1;
+        break;
+      case Instruction::Kind::SwitchTerm: {
+        int64_t Sel = evalExpr(*I.Rhs, Lookup);
+        uint32_t DefaultIdx = UINT32_MAX;
+        uint32_t Match = UINT32_MAX;
+        for (uint32_t A = 0; A < I.Arms.size(); ++A) {
+          if (I.Arms[A].IsDefault)
+            DefaultIdx = A;
+          else if (I.Arms[A].Value == Sel && Match == UINT32_MAX)
+            Match = A;
+        }
+        if (Match != UINT32_MAX)
+          TakenSucc = Match;
+        else if (DefaultIdx != UINT32_MAX)
+          TakenSucc = DefaultIdx;
+        else
+          TakenSucc = static_cast<uint32_t>(I.Arms.size()); // Fall past.
+        break;
+      }
+      case Instruction::Kind::Return:
+        ReturnValue = I.Rhs ? evalExpr(*I.Rhs, Lookup) : 0;
+        TakenSucc = 0; // The edge to exit.
+        break;
+      }
+    }
+    const auto &Succs = G.succEdges(Cur);
+    assert(!Succs.empty() && "non-exit block without successors");
+    if (TakenSucc >= Succs.size())
+      TakenSucc = static_cast<uint32_t>(Succs.size()) - 1;
+    Cur = G.target(Succs[TakenSucc]);
+  }
+}

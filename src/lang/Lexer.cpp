@@ -1,0 +1,250 @@
+//===- Lexer.cpp - MiniLang lexer --------------------------------------------===//
+//
+// Part of the PST library (see Lexer.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace pst;
+
+const char *pst::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::KwFunc:
+    return "'func'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwDo:
+    return "'do'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwSwitch:
+    return "'switch'";
+  case TokKind::KwCase:
+    return "'case'";
+  case TokKind::KwDefault:
+    return "'default'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwGoto:
+    return "'goto'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  case TokKind::Not:
+    return "'!'";
+  case TokKind::Unknown:
+    return "unknown character";
+  }
+  return "?";
+}
+
+std::vector<Token> pst::lex(const std::string &Source) {
+  static const std::unordered_map<std::string, TokKind> Keywords = {
+      {"func", TokKind::KwFunc},       {"var", TokKind::KwVar},
+      {"if", TokKind::KwIf},           {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},     {"do", TokKind::KwDo},
+      {"for", TokKind::KwFor},         {"switch", TokKind::KwSwitch},
+      {"case", TokKind::KwCase},       {"default", TokKind::KwDefault},
+      {"break", TokKind::KwBreak},     {"continue", TokKind::KwContinue},
+      {"return", TokKind::KwReturn},   {"goto", TokKind::KwGoto},
+  };
+
+  std::vector<Token> Toks;
+  uint32_t Line = 1, Col = 1;
+  size_t I = 0, N = Source.size();
+
+  auto Peek = [&](size_t Off = 0) -> char {
+    return I + Off < N ? Source[I + Off] : '\0';
+  };
+  auto Advance = [&]() {
+    if (Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+  auto Emit = [&](TokKind K, std::string Text, uint32_t L, uint32_t C,
+                  int64_t V = 0) {
+    Toks.push_back(Token{K, std::move(Text), V, L, C});
+  };
+
+  while (I < N) {
+    char C = Peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    if (C == '#') { // Line comment.
+      while (I < N && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    uint32_t TL = Line, TC = Col;
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Word;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                       Peek() == '_')) {
+        Word += Peek();
+        Advance();
+      }
+      auto It = Keywords.find(Word);
+      Emit(It != Keywords.end() ? It->second : TokKind::Ident, Word, TL, TC);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Digits;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Digits += Peek();
+        Advance();
+      }
+      Emit(TokKind::Number, Digits, TL, TC, std::stoll(Digits));
+      continue;
+    }
+    auto Two = [&](char Next, TokKind Pair, TokKind Single) {
+      Advance();
+      if (Peek() == Next) {
+        Advance();
+        return Pair;
+      }
+      return Single;
+    };
+    TokKind K;
+    std::string Text(1, C);
+    switch (C) {
+    case '(':
+      K = TokKind::LParen;
+      Advance();
+      break;
+    case ')':
+      K = TokKind::RParen;
+      Advance();
+      break;
+    case '{':
+      K = TokKind::LBrace;
+      Advance();
+      break;
+    case '}':
+      K = TokKind::RBrace;
+      Advance();
+      break;
+    case ',':
+      K = TokKind::Comma;
+      Advance();
+      break;
+    case ';':
+      K = TokKind::Semi;
+      Advance();
+      break;
+    case ':':
+      K = TokKind::Colon;
+      Advance();
+      break;
+    case '+':
+      K = TokKind::Plus;
+      Advance();
+      break;
+    case '-':
+      K = TokKind::Minus;
+      Advance();
+      break;
+    case '*':
+      K = TokKind::Star;
+      Advance();
+      break;
+    case '/':
+      K = TokKind::Slash;
+      Advance();
+      break;
+    case '%':
+      K = TokKind::Percent;
+      Advance();
+      break;
+    case '=':
+      K = Two('=', TokKind::EqEq, TokKind::Assign);
+      break;
+    case '!':
+      K = Two('=', TokKind::NotEq, TokKind::Not);
+      break;
+    case '<':
+      K = Two('=', TokKind::LessEq, TokKind::Less);
+      break;
+    case '>':
+      K = Two('=', TokKind::GreaterEq, TokKind::Greater);
+      break;
+    case '&':
+      K = Two('&', TokKind::AndAnd, TokKind::Unknown);
+      break;
+    case '|':
+      K = Two('|', TokKind::OrOr, TokKind::Unknown);
+      break;
+    default:
+      K = TokKind::Unknown;
+      Advance();
+      break;
+    }
+    Emit(K, Text, TL, TC);
+  }
+  Emit(TokKind::Eof, "", Line, Col);
+  return Toks;
+}

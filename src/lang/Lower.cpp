@@ -1,0 +1,543 @@
+//===- Lower.cpp - AST to block-level CFG --------------------------------------===//
+//
+// Part of the PST library (see Lexer.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/lang/Lower.h"
+
+#include "pst/graph/CfgAlgorithms.h"
+#include "pst/lang/Ast.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace pst;
+
+namespace {
+
+/// Builder state while walking one function's AST.
+class Lowering {
+public:
+  Lowering(const Function &F, std::vector<Diagnostic> *Diags)
+      : F(F), Diags(Diags) {}
+
+  std::optional<LoweredFunction> run();
+
+private:
+  // -- Diagnostics ---------------------------------------------------------
+  void error(uint32_t Line, std::string Msg) {
+    if (Diags)
+      Diags->push_back(Diagnostic{Line, 0, std::move(Msg)});
+    Failed = true;
+  }
+
+  // -- Variables -----------------------------------------------------------
+  VarId declare(const std::string &Name, uint32_t Line) {
+    auto [It, Inserted] = Vars.try_emplace(Name, VarId(VarNames.size()));
+    if (!Inserted) {
+      error(Line, "redeclaration of variable '" + Name + "'");
+      return It->second;
+    }
+    VarNames.push_back(Name);
+    return It->second;
+  }
+
+  VarId lookup(const std::string &Name, uint32_t Line) {
+    auto It = Vars.find(Name);
+    if (It == Vars.end()) {
+      error(Line, "use of undeclared variable '" + Name + "'");
+      return InvalidVar;
+    }
+    return It->second;
+  }
+
+  std::vector<VarId> usesOf(const Expr &E) {
+    std::vector<std::string> Names;
+    collectUses(E, Names);
+    std::vector<VarId> Ids;
+    for (const std::string &N : Names) {
+      VarId V = lookup(N, E.Line);
+      if (V != InvalidVar)
+        Ids.push_back(V);
+    }
+    return Ids;
+  }
+
+  // -- Blocks --------------------------------------------------------------
+  NodeId newBlock(const std::string &Hint) {
+    NodeId N = Graph.addNode(Hint + std::to_string(Graph.numNodes()));
+    Code.emplace_back();
+    return N;
+  }
+
+  void emit(Instruction I) {
+    if (Cur != InvalidNode)
+      Code[Cur].push_back(std::move(I));
+  }
+
+  /// Builds an instruction, attaching an evaluable clone of \p Src for the
+  /// interpreters.
+  Instruction makeInstr(Instruction::Kind K, VarId Def,
+                        std::vector<VarId> Uses, std::string Text,
+                        const Expr *Src) {
+    Instruction I;
+    I.K = K;
+    I.Def = Def;
+    I.Uses = std::move(Uses);
+    I.Text = std::move(Text);
+    if (Src)
+      I.Rhs = std::shared_ptr<const Expr>(cloneExpr(*Src).release());
+    return I;
+  }
+
+  /// Ends the current block with an edge to \p To (if a block is open).
+  void branchTo(NodeId To) {
+    if (Cur != InvalidNode)
+      Graph.addEdge(Cur, To);
+    Cur = InvalidNode;
+  }
+
+  /// Opens \p B as the current block.
+  void startBlock(NodeId B) { Cur = B; }
+
+  /// Statements that branch out of the current block need one to exist;
+  /// after a return/goto/break there is none, so open a dead block (it is
+  /// pruned later unless a label makes it reachable).
+  void ensureBlock() {
+    if (Cur == InvalidNode)
+      startBlock(newBlock("dead"));
+  }
+
+  NodeId labelBlock(const std::string &Name) {
+    auto [It, Inserted] = Labels.try_emplace(Name, InvalidNode);
+    if (Inserted)
+      It->second = newBlock("L_" + Name + "_");
+    return It->second;
+  }
+
+  // -- Statement lowering ---------------------------------------------------
+  void lowerStmt(const Stmt &S);
+  void lowerBody(const Stmt &S) { lowerStmt(S); }
+
+  const Function &F;
+  std::vector<Diagnostic> *Diags;
+  bool Failed = false;
+
+  Cfg Graph;
+  std::vector<std::vector<Instruction>> Code;
+  NodeId Cur = InvalidNode;
+  NodeId Exit = InvalidNode;
+
+  std::map<std::string, VarId> Vars;
+  std::vector<std::string> VarNames;
+  std::map<std::string, NodeId> Labels;
+  std::set<std::string> DefinedLabels;
+  std::vector<std::string> UsedLabels; // For unknown-label diagnostics.
+  std::vector<uint32_t> UsedLabelLines;
+
+  struct LoopCtx {
+    NodeId ContinueTarget;
+    NodeId BreakTarget;
+  };
+  std::vector<LoopCtx> LoopStack;
+};
+
+void Lowering::lowerStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Block:
+    for (const auto &C : S.Body)
+      lowerStmt(*C);
+    return;
+
+  case StmtKind::VarDecl: {
+    VarId V = declare(S.Name, S.Line);
+    if (S.Value) {
+      emit(makeInstr(Instruction::Kind::Assign, V, usesOf(*S.Value),
+                     S.Name + " = " + formatExpr(*S.Value),
+                     S.Value.get()));
+    }
+    return;
+  }
+
+  case StmtKind::Assign: {
+    VarId V = lookup(S.Name, S.Line);
+    emit(makeInstr(Instruction::Kind::Assign, V, usesOf(*S.Value),
+                   S.Name + " = " + formatExpr(*S.Value), S.Value.get()));
+    return;
+  }
+
+  case StmtKind::ExprStmt:
+    emit(makeInstr(Instruction::Kind::Call, InvalidVar, usesOf(*S.Value),
+                   formatExpr(*S.Value), S.Value.get()));
+    return;
+
+  case StmtKind::If: {
+    ensureBlock();
+    emit(makeInstr(Instruction::Kind::CondBranch, InvalidVar,
+                   usesOf(*S.Value), "if " + formatExpr(*S.Value),
+                   S.Value.get()));
+    NodeId CondBlock = Cur;
+    NodeId Join = newBlock("join");
+    NodeId ThenB = newBlock("then");
+    Graph.addEdge(CondBlock, ThenB);
+    startBlock(ThenB);
+    lowerBody(*S.Then);
+    branchTo(Join);
+    if (S.Else) {
+      NodeId ElseB = newBlock("else");
+      Graph.addEdge(CondBlock, ElseB);
+      startBlock(ElseB);
+      lowerBody(*S.Else);
+      branchTo(Join);
+    } else {
+      Graph.addEdge(CondBlock, Join);
+    }
+    // Keep the join a pure merge operator (the paper's block-level CFG has
+    // dedicated switch/merge nodes): code after the conditional starts in
+    // a fresh block, so adjacent constructs never share a block and each
+    // conditional is its own SESE region.
+    NodeId Cont = newBlock("b");
+    Graph.addEdge(Join, Cont);
+    startBlock(Cont);
+    return;
+  }
+
+  case StmtKind::While: {
+    NodeId Header = newBlock("while");
+    branchTo(Header);
+    startBlock(Header);
+    emit(makeInstr(Instruction::Kind::CondBranch, InvalidVar,
+                   usesOf(*S.Value), "while " + formatExpr(*S.Value),
+                   S.Value.get()));
+    NodeId After = newBlock("after");
+    NodeId Body = newBlock("body");
+    Graph.addEdge(Header, Body);
+    Graph.addEdge(Header, After);
+    LoopStack.push_back(LoopCtx{Header, After});
+    startBlock(Body);
+    lowerBody(*S.Then);
+    branchTo(Header);
+    LoopStack.pop_back();
+    startBlock(After);
+    return;
+  }
+
+  case StmtKind::DoWhile: {
+    NodeId Body = newBlock("do");
+    NodeId Latch = newBlock("until");
+    NodeId After = newBlock("after");
+    branchTo(Body);
+    LoopStack.push_back(LoopCtx{Latch, After});
+    startBlock(Body);
+    lowerBody(*S.Then);
+    branchTo(Latch);
+    LoopStack.pop_back();
+    startBlock(Latch);
+    emit(makeInstr(Instruction::Kind::CondBranch, InvalidVar,
+                   usesOf(*S.Value), "until " + formatExpr(*S.Value),
+                   S.Value.get()));
+    Graph.addEdge(Latch, Body);
+    branchTo(After);
+    // branchTo added Latch->After and closed Latch; reopen After.
+    startBlock(After);
+    return;
+  }
+
+  case StmtKind::For: {
+    if (S.Init) {
+      VarId V = lookup(S.Init->Name, S.Init->Line);
+      emit(makeInstr(Instruction::Kind::Assign, V,
+                     usesOf(*S.Init->Value),
+                     S.Init->Name + " = " + formatExpr(*S.Init->Value),
+                     S.Init->Value.get()));
+    }
+    NodeId Header = newBlock("for");
+    branchTo(Header);
+    startBlock(Header);
+    if (S.Value)
+      emit(makeInstr(Instruction::Kind::CondBranch, InvalidVar,
+                     usesOf(*S.Value), "for " + formatExpr(*S.Value),
+                     S.Value.get()));
+    NodeId After = newBlock("after");
+    NodeId Body = newBlock("body");
+    NodeId Step = newBlock("step");
+    Graph.addEdge(Header, Body);
+    if (S.Value)
+      Graph.addEdge(Header, After);
+    LoopStack.push_back(LoopCtx{Step, After});
+    startBlock(Body);
+    lowerBody(*S.Then);
+    branchTo(Step);
+    LoopStack.pop_back();
+    startBlock(Step);
+    if (S.Step) {
+      VarId V = lookup(S.Step->Name, S.Step->Line);
+      emit(makeInstr(Instruction::Kind::Assign, V,
+                     usesOf(*S.Step->Value),
+                     S.Step->Name + " = " + formatExpr(*S.Step->Value),
+                     S.Step->Value.get()));
+    }
+    branchTo(Header);
+    startBlock(After);
+    return;
+  }
+
+  case StmtKind::Switch: {
+    ensureBlock();
+    emit(makeInstr(Instruction::Kind::SwitchTerm, InvalidVar,
+                   usesOf(*S.Value), "switch " + formatExpr(*S.Value),
+                   S.Value.get()));
+    NodeId Sel = Cur;
+    size_t SelInstr = Code[Sel].size() - 1;
+    NodeId Join = newBlock("endsw");
+    bool HasDefault = false;
+    for (const auto &Arm : S.Arms) {
+      NodeId ArmB = newBlock(Arm.HasValue
+                                 ? "case" + std::to_string(Arm.Value) + "_"
+                                 : "default");
+      HasDefault |= !Arm.HasValue;
+      Code[Sel][SelInstr].Arms.push_back(
+          SwitchArmSpec{!Arm.HasValue, Arm.Value});
+      Graph.addEdge(Sel, ArmB);
+      startBlock(ArmB);
+      for (const auto &C : Arm.Body)
+        lowerStmt(*C);
+      branchTo(Join);
+    }
+    if (!HasDefault)
+      Graph.addEdge(Sel, Join); // Implicit fall-past-all-arms edge.
+    // As with if-joins: keep the merge pure, continue in a fresh block.
+    NodeId Cont = newBlock("b");
+    Graph.addEdge(Join, Cont);
+    startBlock(Cont);
+    return;
+  }
+
+  case StmtKind::Break:
+    if (LoopStack.empty()) {
+      error(S.Line, "'break' outside of a loop");
+      return;
+    }
+    branchTo(LoopStack.back().BreakTarget);
+    return;
+
+  case StmtKind::Continue:
+    if (LoopStack.empty()) {
+      error(S.Line, "'continue' outside of a loop");
+      return;
+    }
+    branchTo(LoopStack.back().ContinueTarget);
+    return;
+
+  case StmtKind::Return:
+    emit(makeInstr(Instruction::Kind::Return, InvalidVar,
+                   S.Value ? usesOf(*S.Value) : std::vector<VarId>{},
+                   S.Value ? "return " + formatExpr(*S.Value) : "return",
+                   S.Value.get()));
+    branchTo(Exit);
+    return;
+
+  case StmtKind::Goto: {
+    UsedLabels.push_back(S.Name);
+    UsedLabelLines.push_back(S.Line);
+    branchTo(labelBlock(S.Name));
+    return;
+  }
+
+  case StmtKind::Label: {
+    NodeId B = labelBlock(S.Name);
+    if (DefinedLabels.count(S.Name)) {
+      error(S.Line, "duplicate label '" + S.Name + "'");
+      return;
+    }
+    DefinedLabels.insert(S.Name);
+    branchTo(B); // Fall through into the label.
+    startBlock(B);
+    return;
+  }
+  }
+}
+
+std::optional<LoweredFunction> Lowering::run() {
+  NodeId Entry = Graph.addNode("entry");
+  Code.emplace_back();
+  Exit = newBlock("exit");
+  Graph.setEntry(Entry);
+  Graph.setExit(Exit);
+
+  startBlock(Entry);
+  for (const std::string &P : F.Params) {
+    VarId V = declare(P, F.Line);
+    emit(makeInstr(Instruction::Kind::Param, V, {}, "param " + P,
+                   nullptr));
+  }
+  // Give the body its own first block so entry stays clean.
+  NodeId First = newBlock("b");
+  branchTo(First);
+  startBlock(First);
+
+  lowerStmt(*F.Body);
+  branchTo(Exit); // Implicit return at the end.
+
+  // Unknown labels.
+  for (size_t I = 0; I < UsedLabels.size(); ++I)
+    if (!DefinedLabels.count(UsedLabels[I]))
+      error(UsedLabelLines[I], "goto to unknown label '" + UsedLabels[I] +
+                                   "'");
+  if (Failed)
+    return std::nullopt;
+
+  // -- Cleanup: prune unreachable blocks; tie off exit-less cycles. --------
+  // First make every entry-reachable node reach exit (while(1) bodies).
+  while (true) {
+    std::vector<bool> FromEntry = reachableFrom(Graph, Entry);
+    std::vector<bool> ToExit = reachesTo(Graph, Exit);
+    NodeId Bad = InvalidNode;
+    for (NodeId N = 0; N < Graph.numNodes() && Bad == InvalidNode; ++N)
+      if (FromEntry[N] && !ToExit[N])
+        Bad = N;
+    if (Bad == InvalidNode)
+      break;
+    Graph.addEdge(Bad, Exit); // Synthetic "infinite loop" escape edge.
+  }
+
+  // Then drop unreachable nodes by rebuilding a compact graph.
+  std::vector<bool> Keep = reachableFrom(Graph, Entry);
+  Cfg Compact;
+  std::vector<NodeId> NewId(Graph.numNodes(), InvalidNode);
+  std::vector<std::vector<Instruction>> NewCode;
+  for (NodeId N = 0; N < Graph.numNodes(); ++N) {
+    if (!Keep[N])
+      continue;
+    NewId[N] = Compact.addNode(Graph.node(N).Label);
+    NewCode.push_back(std::move(Code[N]));
+  }
+  for (EdgeId E = 0; E < Graph.numEdges(); ++E) {
+    NodeId S = Graph.source(E), D = Graph.target(E);
+    if (Keep[S] && Keep[D])
+      Compact.addEdge(NewId[S], NewId[D]);
+  }
+  Compact.setEntry(NewId[Entry]);
+  Compact.setExit(NewId[Exit]);
+
+  LoweredFunction Out;
+  Out.Name = F.Name;
+  Out.Graph = std::move(Compact);
+  Out.Code = std::move(NewCode);
+  Out.VarNames = std::move(VarNames);
+  Out.NumStatements = countStatements(*F.Body);
+  return Out;
+}
+
+} // namespace
+
+std::vector<NodeId> LoweredFunction::defBlocks(VarId V) const {
+  std::vector<NodeId> Out;
+  for (NodeId N = 0; N < Graph.numNodes(); ++N)
+    for (const Instruction &I : Code[N])
+      if (I.Def == V) {
+        Out.push_back(N);
+        break;
+      }
+  return Out;
+}
+
+std::vector<NodeId> LoweredFunction::useBlocks(VarId V) const {
+  std::vector<NodeId> Out;
+  for (NodeId N = 0; N < Graph.numNodes(); ++N)
+    for (const Instruction &I : Code[N])
+      if (std::find(I.Uses.begin(), I.Uses.end(), V) != I.Uses.end()) {
+        Out.push_back(N);
+        break;
+      }
+  return Out;
+}
+
+std::optional<LoweredFunction>
+pst::lowerFunction(const Function &F, std::vector<Diagnostic> *Diags) {
+  return Lowering(F, Diags).run();
+}
+
+LoweredFunction pst::expandToStatementLevel(const LoweredFunction &F,
+                                            std::vector<NodeId> *FirstOf) {
+  LoweredFunction Out;
+  Out.Name = F.Name;
+  Out.VarNames = F.VarNames;
+  Out.NumStatements = F.NumStatements;
+
+  const Cfg &G = F.Graph;
+  std::vector<NodeId> First(G.numNodes()), Last(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    size_t K = std::max<size_t>(1, F.Code[N].size());
+    First[N] = Out.Graph.addNode(G.node(N).Label);
+    Out.Code.emplace_back();
+    if (!F.Code[N].empty())
+      Out.Code.back().push_back(F.Code[N][0]);
+    NodeId Prev = First[N];
+    for (size_t I = 1; I < K; ++I) {
+      NodeId B = Out.Graph.addNode(G.node(N).Label + "." +
+                                   std::to_string(I));
+      Out.Code.emplace_back();
+      Out.Code.back().push_back(F.Code[N][I]);
+      Out.Graph.addEdge(Prev, B);
+      Prev = B;
+    }
+    Last[N] = Prev;
+  }
+  for (EdgeId E = 0; E < G.numEdges(); ++E)
+    Out.Graph.addEdge(Last[G.source(E)], First[G.target(E)]);
+  Out.Graph.setEntry(First[G.entry()]);
+  Out.Graph.setExit(Last[G.exit()]);
+  if (FirstOf)
+    *FirstOf = std::move(First);
+  return Out;
+}
+
+std::optional<std::vector<LoweredFunction>>
+pst::lowerProgram(const Program &P, std::vector<Diagnostic> *Diags) {
+  std::vector<LoweredFunction> Out;
+  for (const Function &F : P.Functions) {
+    auto L = lowerFunction(F, Diags);
+    if (!L)
+      return std::nullopt;
+    Out.push_back(std::move(*L));
+  }
+  return Out;
+}
+
+std::optional<std::vector<LoweredFunction>>
+pst::compile(const std::string &Source, std::vector<Diagnostic> *Diags) {
+  auto P = parseProgram(Source, Diags);
+  if (!P)
+    return std::nullopt;
+  return lowerProgram(*P, Diags);
+}
+
+std::string pst::formatLowered(const LoweredFunction &F) {
+  std::ostringstream OS;
+  OS << "function " << F.Name << " (" << F.Graph.numNodes() << " blocks, "
+     << F.numVars() << " vars)\n";
+  for (NodeId N = 0; N < F.Graph.numNodes(); ++N) {
+    OS << "  " << F.Graph.nodeName(N);
+    if (N == F.Graph.entry())
+      OS << " [entry]";
+    if (N == F.Graph.exit())
+      OS << " [exit]";
+    OS << ":\n";
+    for (const Instruction &I : F.Code[N])
+      OS << "    " << I.Text << "\n";
+    OS << "    -> ";
+    bool FirstSucc = true;
+    for (EdgeId E : F.Graph.succEdges(N)) {
+      if (!FirstSucc)
+        OS << ", ";
+      FirstSucc = false;
+      OS << F.Graph.nodeName(F.Graph.target(E));
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,151 @@
+//===- PhiPlacement.cpp - Phi placement (classic & PST) -----------------------===//
+//
+// Part of the PST library (see PhiPlacement.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/ssa/PhiPlacement.h"
+
+#include "pst/core/RegionAnalysis.h"
+#include "pst/dom/Dominators.h"
+
+#include <algorithm>
+#include <optional>
+
+using namespace pst;
+
+PhiPlacement pst::placePhisClassic(const LoweredFunction &F) {
+  const Cfg &G = F.Graph;
+  DomTree DT = DomTree::buildIterative(G);
+  DominanceFrontiers DF(G, DT);
+
+  PhiPlacement P;
+  P.PhiBlocks.resize(F.numVars());
+  P.RegionsExamined.resize(F.numVars());
+  // The classic algorithm has no region notion; both Figure-10 counters
+  // are filled in by the caller when comparing against the PST variant.
+  for (VarId V = 0; V < F.numVars(); ++V) {
+    // Convention: every variable has an implicit definition at entry (the
+    // "undefined" initial value), as in Cytron et al.
+    std::vector<NodeId> Defs = F.defBlocks(V);
+    Defs.push_back(G.entry());
+    std::sort(Defs.begin(), Defs.end());
+    Defs.erase(std::unique(Defs.begin(), Defs.end()), Defs.end());
+    P.PhiBlocks[V] = DF.iterated(Defs);
+    P.RegionsExamined[V] = 0;
+  }
+  return P;
+}
+
+namespace {
+
+/// Per-region quotient machinery cached across variables: the collapsed
+/// body as a CFG with a virtual entry (so dominators are rooted), its
+/// dominance frontiers, and the quotient-node meanings.
+struct RegionSolver {
+  Cfg Q;
+  uint32_t VirtualEntry = 0;
+  CollapsedBody Body;
+  std::optional<DomTree> DT;
+  std::optional<DominanceFrontiers> DF;
+
+  void build(const Cfg &G, const ProgramStructureTree &T, RegionId R) {
+    Body = collapseRegion(G, T, R);
+    for (uint32_t I = 0; I < Body.numNodes(); ++I)
+      Q.addNode();
+    VirtualEntry = Q.addNode("ventry");
+    uint32_t VirtualExit = Q.addNode("vexit");
+    for (const auto &E : Body.Edges)
+      Q.addEdge(E.Src, E.Dst);
+    Q.addEdge(VirtualEntry, Body.EntryQ);
+    Q.addEdge(Body.ExitQ, VirtualExit);
+    Q.setEntry(VirtualEntry);
+    Q.setExit(VirtualExit);
+    DT.emplace(DomTree::buildIterative(Q));
+    DF.emplace(Q, *DT);
+  }
+};
+
+} // namespace
+
+PhiPlacement pst::placePhisPst(const LoweredFunction &F,
+                               const ProgramStructureTree &T) {
+  const Cfg &G = F.Graph;
+  uint32_t NumRegions = T.numRegions();
+
+  PhiPlacement P;
+  P.PhiBlocks.resize(F.numVars());
+  P.RegionsExamined.resize(F.numVars());
+  P.RegionsTotal = NumRegions;
+
+  // Lazily built per-region solvers, shared across variables.
+  std::vector<std::optional<RegionSolver>> Solvers(NumRegions);
+  auto SolverFor = [&](RegionId R) -> RegionSolver & {
+    if (!Solvers[R]) {
+      Solvers[R].emplace();
+      Solvers[R]->build(G, T, R);
+    }
+    return *Solvers[R];
+  };
+
+  // Epoch-stamped mark array, reused per variable.
+  std::vector<uint32_t> MarkEpoch(NumRegions, 0);
+  std::vector<uint32_t> DefEpoch(G.numNodes(), 0);
+  uint32_t Epoch = 0;
+
+  for (VarId V = 0; V < F.numVars(); ++V) {
+    ++Epoch;
+    std::vector<NodeId> Defs = F.defBlocks(V);
+    for (NodeId D : Defs)
+      DefEpoch[D] = Epoch;
+
+    // Step 1: mark every region whose subtree contains a definition by
+    // walking ancestors from each def block's innermost region.
+    std::vector<RegionId> Marked;
+    for (NodeId D : Defs) {
+      for (RegionId R = T.regionOfNode(D);
+           R != InvalidRegion && MarkEpoch[R] != Epoch;
+           R = T.region(R).Parent) {
+        MarkEpoch[R] = Epoch;
+        Marked.push_back(R);
+      }
+    }
+    // Figure 10's measure: regions the variable's own assignments force
+    // us to examine.
+    P.RegionsExamined[V] = static_cast<uint32_t>(Marked.size());
+
+    // The implicit entry definition (same convention as the classic side)
+    // additionally marks the root.
+    DefEpoch[G.entry()] = Epoch;
+    if (MarkEpoch[T.root()] != Epoch) {
+      MarkEpoch[T.root()] = Epoch;
+      Marked.push_back(T.root());
+    }
+
+    // Steps 2+3: solve each marked region on its collapsed body.
+    std::vector<NodeId> Phis;
+    for (RegionId R : Marked) {
+      RegionSolver &S = SolverFor(R);
+      // Definition sites in the quotient: the virtual entry (region entry
+      // acts as a definition), immediate def blocks, and marked children
+      // (a collapsed child containing a def is one definition).
+      std::vector<NodeId> QDefs{S.VirtualEntry};
+      for (uint32_t I = 0; I < S.Body.numNodes(); ++I) {
+        const auto &N = S.Body.Nodes[I];
+        if (N.IsRegion ? MarkEpoch[N.Region] == Epoch
+                       : DefEpoch[N.Node] == Epoch)
+          QDefs.push_back(I);
+      }
+      for (NodeId M : S.DF->iterated(QDefs)) {
+        // Phis land on immediate CFG nodes only (a collapsed child has a
+        // single external predecessor, its entry edge).
+        if (M < S.Body.numNodes() && !S.Body.Nodes[M].IsRegion)
+          Phis.push_back(S.Body.Nodes[M].Node);
+      }
+    }
+    std::sort(Phis.begin(), Phis.end());
+    Phis.erase(std::unique(Phis.begin(), Phis.end()), Phis.end());
+    P.PhiBlocks[V] = std::move(Phis);
+  }
+  return P;
+}

@@ -1,0 +1,77 @@
+//===- TableWriter.cpp - Aligned text tables ------------------------------===//
+//
+// Part of the PST library (see BitVector.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/support/TableWriter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+using namespace pst;
+
+void TableWriter::setHeader(std::vector<std::string> Columns) {
+  Header = std::move(Columns);
+}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TableWriter::fmt(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+/// Returns true if \p S looks like a number (so it should right-align).
+static bool looksNumeric(const std::string &S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (!std::isdigit(static_cast<unsigned char>(C)) && C != '.' &&
+        C != '-' && C != '+' && C != '%' && C != 'e' && C != 'x')
+      return false;
+  return true;
+}
+
+void TableWriter::print(std::ostream &OS) const {
+  size_t NumCols = Header.size();
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<size_t> Width(NumCols, 0);
+  auto Measure = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      Width[I] = std::max(Width[I], Row[I].size());
+  };
+  Measure(Header);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < NumCols; ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : "";
+      size_t Pad = Width[I] - Cell.size();
+      if (looksNumeric(Cell)) {
+        OS << std::string(Pad, ' ') << Cell;
+      } else {
+        OS << Cell << std::string(Pad, ' ');
+      }
+      OS << (I + 1 == NumCols ? "" : "  ");
+    }
+    OS << '\n';
+  };
+
+  if (!Header.empty()) {
+    PrintRow(Header);
+    size_t Line = 0;
+    for (size_t I = 0; I < NumCols; ++I)
+      Line += Width[I] + (I + 1 == NumCols ? 0 : 2);
+    OS << std::string(Line, '-') << '\n';
+  }
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

@@ -1,0 +1,235 @@
+//===- CfgGenerators.cpp - Synthetic CFGs ------------------------------------===//
+//
+// Part of the PST library (see CfgGenerators.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/workload/CfgGenerators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <string>
+#include <vector>
+
+using namespace pst;
+
+Cfg pst::randomBackboneCfg(Rng &R, const RandomCfgOptions &Opts) {
+  assert(Opts.NumNodes >= 2 && "need at least entry and exit");
+  Cfg G;
+  uint32_t N = Opts.NumNodes;
+  for (uint32_t I = 0; I < N; ++I)
+    G.addNode();
+  G.setEntry(0);
+  G.setExit(N - 1);
+
+  // Permute the interior nodes onto a backbone path; this alone satisfies
+  // Definition 1 (everything lies on an entry->exit path).
+  std::vector<NodeId> Interior(N >= 2 ? N - 2 : 0);
+  std::iota(Interior.begin(), Interior.end(), 1);
+  for (size_t I = Interior.size(); I > 1; --I)
+    std::swap(Interior[I - 1], Interior[R.nextBelow(I)]);
+
+  NodeId Prev = G.entry();
+  for (NodeId M : Interior) {
+    G.addEdge(Prev, M);
+    Prev = M;
+  }
+  G.addEdge(Prev, G.exit());
+
+  // Positions along the backbone, for forward/backward extra edges.
+  std::vector<uint32_t> Pos(N, 0);
+  for (uint32_t I = 0; I < Interior.size(); ++I)
+    Pos[Interior[I]] = I + 1;
+  Pos[G.exit()] = N - 1;
+
+  for (uint32_t K = 0; K < Opts.NumExtraEdges; ++K) {
+    if (R.nextBool(Opts.ParallelProb) && G.numEdges() > 0) {
+      EdgeId E = static_cast<EdgeId>(R.nextBelow(G.numEdges()));
+      G.addEdge(G.source(E), G.target(E));
+      continue;
+    }
+    if (R.nextBool(Opts.SelfLoopProb) && N > 2) {
+      NodeId V = Interior[R.nextBelow(Interior.size())];
+      G.addEdge(V, V);
+      continue;
+    }
+    // Any edge not into entry and not out of exit keeps the CFG valid.
+    NodeId Src, Dst;
+    do {
+      Src = static_cast<NodeId>(R.nextBelow(N));
+    } while (Src == G.exit());
+    do {
+      Dst = static_cast<NodeId>(R.nextBelow(N));
+    } while (Dst == G.entry());
+    if (!Opts.AllowBackEdges && Pos[Dst] <= Pos[Src])
+      std::swap(Src, Dst); // Make it forward along the backbone.
+    if (Src == G.exit() || Dst == G.entry())
+      continue; // The swap may have hit a terminal; just drop this edge.
+    G.addEdge(Src, Dst);
+  }
+  return G;
+}
+
+Cfg pst::chainCfg(uint32_t InnerNodes) {
+  Cfg G;
+  NodeId Entry = G.addNode("entry");
+  NodeId Prev = Entry;
+  for (uint32_t I = 0; I < InnerNodes; ++I) {
+    NodeId B = G.addNode("b" + std::to_string(I));
+    G.addEdge(Prev, B);
+    Prev = B;
+  }
+  NodeId Exit = G.addNode("exit");
+  G.addEdge(Prev, Exit);
+  G.setEntry(Entry);
+  G.setExit(Exit);
+  return G;
+}
+
+Cfg pst::diamondLadderCfg(uint32_t Count) {
+  Cfg G;
+  NodeId Entry = G.addNode("entry");
+  NodeId Prev = Entry;
+  for (uint32_t I = 0; I < Count; ++I) {
+    std::string S = std::to_string(I);
+    NodeId C = G.addNode("cond" + S);
+    NodeId T = G.addNode("then" + S);
+    NodeId F = G.addNode("else" + S);
+    NodeId J = G.addNode("join" + S);
+    G.addEdge(Prev, C);
+    G.addEdge(C, T);
+    G.addEdge(C, F);
+    G.addEdge(T, J);
+    G.addEdge(F, J);
+    Prev = J;
+  }
+  NodeId Exit = G.addNode("exit");
+  G.addEdge(Prev, Exit);
+  G.setEntry(Entry);
+  G.setExit(Exit);
+  return G;
+}
+
+Cfg pst::nestedWhileCfg(uint32_t Depth, uint32_t BodyBlocks) {
+  Cfg G;
+  NodeId Entry = G.addNode("entry");
+  NodeId Exit = G.addNode("exit");
+  G.setEntry(Entry);
+  G.setExit(Exit);
+
+  // Build outside-in: each level adds header -> (body...) -> header and
+  // header -> next-after-loop.
+  std::vector<NodeId> Headers;
+  NodeId Prev = Entry;
+  for (uint32_t D = 0; D < Depth; ++D) {
+    NodeId H = G.addNode("head" + std::to_string(D));
+    G.addEdge(Prev, H);
+    Headers.push_back(H);
+    Prev = H;
+  }
+  // Innermost body chain.
+  NodeId BodyPrev = Prev;
+  for (uint32_t I = 0; I < BodyBlocks; ++I) {
+    NodeId B = G.addNode("body" + std::to_string(I));
+    G.addEdge(BodyPrev, B);
+    BodyPrev = B;
+  }
+  // Close the loops inside-out: innermost body ends at innermost header.
+  NodeId Inner = BodyPrev;
+  for (uint32_t D = Depth; D-- > 0;) {
+    G.addEdge(Inner, Headers[D]); // Backedge.
+    // The loop exit continues to the next outer "after" point; build a
+    // latch block per level for a clean block-level CFG.
+    NodeId After = G.addNode("after" + std::to_string(D));
+    G.addEdge(Headers[D], After);
+    Inner = After;
+  }
+  G.addEdge(Inner, Exit);
+  return G;
+}
+
+Cfg pst::nestedRepeatUntilCfg(uint32_t Depth) {
+  // repeat { repeat { ... } until c } until c' lowers to a chain of entry
+  // blocks h1..hD (h1 outermost) with a tail block t_i per level testing
+  // the until condition: t_i -> h_i (backedge) and t_i -> t_{i-1}.
+  Cfg G;
+  NodeId Entry = G.addNode("entry");
+  NodeId Exit = G.addNode("exit");
+  G.setEntry(Entry);
+  G.setExit(Exit);
+
+  std::vector<NodeId> Head(Depth), Tail(Depth);
+  for (uint32_t I = 0; I < Depth; ++I)
+    Head[I] = G.addNode("h" + std::to_string(I));
+  for (uint32_t I = 0; I < Depth; ++I)
+    Tail[I] = G.addNode("t" + std::to_string(I));
+
+  G.addEdge(Entry, Head[0]);
+  for (uint32_t I = 0; I + 1 < Depth; ++I)
+    G.addEdge(Head[I], Head[I + 1]);
+  G.addEdge(Head[Depth - 1], Tail[Depth - 1]);
+  for (uint32_t I = Depth; I-- > 0;) {
+    G.addEdge(Tail[I], Head[I]); // until fails: repeat level I.
+    if (I > 0)
+      G.addEdge(Tail[I], Tail[I - 1]); // until succeeds: leave level I.
+  }
+  G.addEdge(Tail[0], Exit);
+  return G;
+}
+
+Cfg pst::irreducibleCfg(uint32_t Copies) {
+  Cfg G;
+  NodeId Entry = G.addNode("entry");
+  NodeId Prev = Entry;
+  for (uint32_t I = 0; I < Copies; ++I) {
+    std::string S = std::to_string(I);
+    NodeId C = G.addNode("split" + S);
+    NodeId A = G.addNode("a" + S);
+    NodeId B = G.addNode("b" + S);
+    NodeId J = G.addNode("out" + S);
+    G.addEdge(Prev, C);
+    G.addEdge(C, A);
+    G.addEdge(C, B);
+    G.addEdge(A, B); // The two-entry loop a <-> b.
+    G.addEdge(B, A);
+    G.addEdge(B, J);
+    Prev = J;
+  }
+  NodeId Exit = G.addNode("exit");
+  G.addEdge(Prev, Exit);
+  G.setEntry(Entry);
+  G.setExit(Exit);
+  return G;
+}
+
+Cfg pst::paperFigure1Cfg() {
+  // The scanned figure is not machine-recoverable, so this is a faithful
+  // reconstruction exhibiting every relationship the text describes:
+  // nested regions (the arm regions inside the conditional), disjoint
+  // regions (the two arms), and sequentially composed regions (the
+  // conditional, the loop and the tail block share boundary edges).
+  Cfg G;
+  NodeId Start = G.addNode("start");
+  NodeId Cond = G.addNode("cond");
+  NodeId Then = G.addNode("then");
+  NodeId Else = G.addNode("else");
+  NodeId Join = G.addNode("join");
+  NodeId Head = G.addNode("head");
+  NodeId Body = G.addNode("body");
+  NodeId Tail = G.addNode("tail");
+  NodeId End = G.addNode("end");
+  G.addEdge(Start, Cond); // e0: opens the conditional region.
+  G.addEdge(Cond, Then);  // e1: opens the then-arm region.
+  G.addEdge(Cond, Else);  // e2: opens the else-arm region.
+  G.addEdge(Then, Join);  // e3: closes the then-arm region.
+  G.addEdge(Else, Join);  // e4: closes the else-arm region.
+  G.addEdge(Join, Head);  // e5: closes conditional, opens loop region.
+  G.addEdge(Head, Body);  // e6.
+  G.addEdge(Body, Head);  // e7: loop backedge.
+  G.addEdge(Head, Tail);  // e8: closes loop, opens tail region.
+  G.addEdge(Tail, End);   // e9: closes tail region.
+  G.setEntry(Start);
+  G.setExit(End);
+  return G;
+}

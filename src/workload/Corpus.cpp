@@ -1,0 +1,70 @@
+//===- Corpus.cpp - The paper's benchmark corpus -------------------------------===//
+//
+// Part of the PST library (see CfgGenerators.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/workload/Corpus.h"
+
+#include "pst/graph/CfgAlgorithms.h"
+#include "pst/workload/ProgramGenerator.h"
+
+#include <cstdlib>
+
+using namespace pst;
+
+const std::vector<CorpusProgramSpec> &pst::paperCorpusSpec() {
+  static const std::vector<CorpusProgramSpec> Spec = {
+      {"Perfect", "APS", 6105, 97},    {"Perfect", "LGS", 2389, 34},
+      {"Perfect", "TFS", 1986, 27},    {"Perfect", "TIS", 485, 7},
+      {"SPEC89", "dnasa7", 1105, 17},  {"SPEC89", "doduc", 5334, 41},
+      {"SPEC89", "fpppp", 2718, 14},   {"SPEC89", "matrix300", 439, 5},
+      {"SPEC89", "tomcatv", 195, 1},   {"linpack", "linpack", 793, 11},
+  };
+  return Spec;
+}
+
+std::vector<CorpusFunction> pst::generatePaperCorpus(uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<CorpusFunction> Out;
+
+  for (const CorpusProgramSpec &P : paperCorpusSpec()) {
+    // Split the program's lines across its procedures: random weights
+    // around the mean, matching the paper's spread of procedure sizes
+    // (most procedures small, a few hundreds of statements).
+    std::vector<double> W(P.Procedures);
+    double Total = 0;
+    for (double &X : W) {
+      X = 0.25 + R.nextDouble() * (R.nextBool(0.15) ? 6.0 : 1.5);
+      Total += X;
+    }
+
+    for (uint32_t I = 0; I < P.Procedures; ++I) {
+      uint32_t Target = std::max<uint32_t>(
+          4, static_cast<uint32_t>(P.Lines * (W[I] / Total)));
+
+      ProgramGenOptions Opts;
+      Opts.TargetStatements = Target;
+      // Variable count scales with procedure size (the paper's corpus has
+      // ~20 variables per procedure on average, 5072 total).
+      Opts.NumVars = std::min<uint32_t>(
+          60, 4 + Target / 5 + static_cast<uint32_t>(R.nextBelow(4)));
+      Opts.NumParams = static_cast<uint32_t>(R.nextBelow(5));
+      Opts.MaxDepth = 5 + static_cast<uint32_t>(R.nextBelow(3));
+      // The paper found 182 of 254 procedures completely structured;
+      // giving ~22% of procedures gotos (plus the occasional dag from
+      // guarded exits) reproduces that mix.
+      Opts.GotoProb = R.nextBool(0.26) ? 0.06 : 0.0;
+
+      Function F = generateFunction(
+          R, Opts, std::string(P.Name) + "_p" + std::to_string(I));
+      auto L = lowerFunction(F);
+      if (!L || !validateCfg(L->Graph)) {
+        // A generator bug, not an input error: fail loudly.
+        std::abort();
+      }
+      Out.push_back(CorpusFunction{P.Suite, P.Name, std::move(*L)});
+    }
+  }
+  return Out;
+}

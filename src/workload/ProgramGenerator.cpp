@@ -1,0 +1,367 @@
+//===- ProgramGenerator.cpp - Random MiniLang ---------------------------------===//
+//
+// Part of the PST library (see CfgGenerators.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/workload/ProgramGenerator.h"
+
+#include <string>
+#include <vector>
+
+using namespace pst;
+
+namespace {
+
+/// Statement-stream generator for one function.
+class FuncGen {
+public:
+  FuncGen(Rng &R, const ProgramGenOptions &Opts) : R(R), Opts(Opts) {}
+
+  Function run(std::string Name) {
+    Function F;
+    F.Name = std::move(Name);
+    for (uint32_t I = 0; I < Opts.NumParams; ++I)
+      F.Params.push_back("p" + std::to_string(I));
+    for (uint32_t I = 0; I < Opts.NumParams; ++I)
+      Vars.push_back("p" + std::to_string(I));
+
+    auto Body = std::make_unique<Stmt>(StmtKind::Block);
+    // Declare the locals up front. Most are bare declarations (defined
+    // later, near their uses); an initializer here would count as an
+    // extra definition site for every variable and wash out the def
+    // locality that Figure 10 and the QPG experiment depend on.
+    for (uint32_t I = 0; I < Opts.NumVars; ++I) {
+      std::string V = "v" + std::to_string(I);
+      auto D = std::make_unique<Stmt>(StmtKind::VarDecl);
+      D->Name = V;
+      if (R.nextBool(0.25))
+        D->Value = makeNumber(R.nextInRange(0, 9), 0);
+      Body->Body.push_back(std::move(D));
+      Vars.push_back(V);
+    }
+    UsesGoto = Opts.GotoProb > 0.0;
+
+    Budget = Opts.TargetStatements;
+    genStmts(Body->Body, /*Depth=*/0, /*InLoop=*/false,
+             /*GotoAllowed=*/true);
+
+    // A procedure that is supposed to use gotos gets at least one
+    // genuinely unstructured jump (the random cascade alone fires too
+    // rarely on small bodies to match the corpus's unstructured share).
+    if (UsesGoto)
+      Body->Body.push_back(makeJumpIntoLoop());
+
+    // Emit any labels gotos still owe, as trailing no-op anchor points.
+    for (const std::string &L : PendingLabels) {
+      auto Lab = std::make_unique<Stmt>(StmtKind::Label);
+      Lab->Name = L;
+      Body->Body.push_back(std::move(Lab));
+      auto A = genAssign();
+      Body->Body.push_back(std::move(A));
+    }
+    F.Body = std::move(Body);
+    return F;
+  }
+
+private:
+  // -- Variable locality ----------------------------------------------------
+  // Real procedures use each variable within a small window of the code;
+  // this is what makes the paper's sparsity results (Figure 10, the QPG
+  // sizes) possible. We model it by sweeping a window over the variable
+  // array as generation progresses.
+  size_t localVarIndex(double Spread) {
+    if (Vars.size() <= 1)
+      return 0;
+    double Progress =
+        1.0 - static_cast<double>(Budget) /
+                  std::max<double>(1.0, Opts.TargetStatements);
+    double Center = Progress * static_cast<double>(Vars.size() - 1);
+    double Offset = (R.nextDouble() + R.nextDouble() - 1.0) *
+                    static_cast<double>(Vars.size()) * Spread;
+    double Idx = Center + Offset;
+    if (Idx < 0)
+      Idx = 0;
+    if (Idx > static_cast<double>(Vars.size() - 1))
+      Idx = static_cast<double>(Vars.size() - 1);
+    return static_cast<size_t>(Idx);
+  }
+
+  const std::string &pickDefVar() {
+    // Consecutive assignments often hit the same variable (accumulators,
+    // induction updates); this keeps each variable's definitions inside
+    // few regions, as in real code.
+    if (LastDefVar != SIZE_MAX && R.nextBool(0.65))
+      return Vars[LastDefVar];
+    LastDefVar = localVarIndex(0.04);
+    return Vars[LastDefVar];
+  }
+  size_t LastDefVar = SIZE_MAX;
+  const std::string &pickUseVar() {
+    // Uses roam a little wider than defs (reads of parameters and of
+    // earlier results), with an occasional global reach.
+    if (R.nextBool(0.08))
+      return Vars[R.nextBelow(Vars.size())];
+    return Vars[localVarIndex(0.18)];
+  }
+
+  // -- Expressions ---------------------------------------------------------
+  ExprPtr genLeaf() {
+    if (R.nextBool(0.4) || Vars.empty())
+      return makeNumber(R.nextInRange(0, 99), 0);
+    return makeVarRef(pickUseVar(), 0);
+  }
+
+  ExprPtr genExpr(uint32_t Depth) {
+    if (Depth == 0 || R.nextBool(0.35))
+      return genLeaf();
+    static const OpKind Arith[] = {OpKind::Add, OpKind::Sub, OpKind::Mul,
+                                   OpKind::Div, OpKind::Rem};
+    return makeBinary(Arith[R.nextBelow(5)], genExpr(Depth - 1),
+                      genExpr(Depth - 1), 0);
+  }
+
+  ExprPtr genCond() {
+    static const OpKind Rel[] = {OpKind::Lt, OpKind::Le,  OpKind::Gt,
+                                 OpKind::Ge, OpKind::Eq, OpKind::Ne};
+    ExprPtr C = makeBinary(Rel[R.nextBelow(6)], genExpr(1), genExpr(1), 0);
+    if (R.nextBool(0.2))
+      C = makeBinary(R.nextBool(0.5) ? OpKind::And : OpKind::Or,
+                     std::move(C),
+                     makeBinary(Rel[R.nextBelow(6)], genLeaf(), genLeaf(), 0),
+                     0);
+    return C;
+  }
+
+  StmtPtr genAssign() {
+    auto S = std::make_unique<Stmt>(StmtKind::Assign);
+    S->Name = pickDefVar();
+    S->Value = genExpr(2);
+    return S;
+  }
+
+  StmtPtr wrapBlock(std::vector<StmtPtr> Stmts) {
+    auto B = std::make_unique<Stmt>(StmtKind::Block);
+    B->Body = std::move(Stmts);
+    return B;
+  }
+
+  /// `if (c) goto L; while (c2) { ...; L: ...; }` — a two-entry loop, the
+  /// canonical irreducible shape.
+  StmtPtr makeJumpIntoLoop() {
+    std::string L = "l" + std::to_string(NextLabel++);
+    auto Blk = std::make_unique<Stmt>(StmtKind::Block);
+    auto Guard = std::make_unique<Stmt>(StmtKind::If);
+    Guard->Value = genCond();
+    Guard->Then = wrapBlock({});
+    auto Gt = std::make_unique<Stmt>(StmtKind::Goto);
+    Gt->Name = L;
+    Guard->Then->Body.push_back(std::move(Gt));
+    Blk->Body.push_back(std::move(Guard));
+    auto Loop = std::make_unique<Stmt>(StmtKind::While);
+    Loop->Value = genCond();
+    Loop->Then = wrapBlock({});
+    Loop->Then->Body.push_back(genAssign());
+    auto Lab = std::make_unique<Stmt>(StmtKind::Label);
+    Lab->Name = L;
+    Loop->Then->Body.push_back(std::move(Lab));
+    Loop->Then->Body.push_back(genAssign());
+    Blk->Body.push_back(std::move(Loop));
+    return Blk;
+  }
+
+  /// A sub-block of roughly \p Share of the remaining budget.
+  StmtPtr genSubBlock(uint32_t Depth, bool InLoop) {
+    std::vector<StmtPtr> Stmts;
+    genStmts(Stmts, Depth, InLoop, /*GotoAllowed=*/false);
+    if (Stmts.empty())
+      Stmts.push_back(genAssign());
+    return wrapBlock(std::move(Stmts));
+  }
+
+  // -- Statements ----------------------------------------------------------
+  void genStmts(std::vector<StmtPtr> &Out, uint32_t Depth, bool InLoop,
+                bool GotoAllowed) {
+    // Each recursion level takes a slice of the budget so nesting depth
+    // follows the paper's broad-and-shallow shape.
+    uint32_t Slice =
+        Depth == 0 ? Budget : 1 + static_cast<uint32_t>(R.nextBelow(
+                                      std::max<uint32_t>(Budget / 2, 1)));
+    while (Slice > 0 && Budget > 0) {
+      --Slice;
+      --Budget;
+      StmtPtr S = genOneStmt(Depth, InLoop, GotoAllowed);
+      bool Composite = S->Kind == StmtKind::If ||
+                       S->Kind == StmtKind::While ||
+                       S->Kind == StmtKind::DoWhile ||
+                       S->Kind == StmtKind::For ||
+                       S->Kind == StmtKind::Switch;
+      Out.push_back(std::move(S));
+      // Separate adjacent constructs with straight-line glue, as real code
+      // does; without it two conditionals share a join/cond block, fuse
+      // into one SESE region and classify as a dag.
+      if (Composite && Budget > 0) {
+        --Budget;
+        Out.push_back(genAssign());
+      }
+    }
+  }
+
+  StmtPtr genOneStmt(uint32_t Depth, bool InLoop, bool GotoAllowed) {
+    double P = R.nextDouble();
+    bool DeepOk = Depth < Opts.MaxDepth;
+    // Nesting gets rarer with depth, matching the paper's broad-and-
+    // shallow PSTs (average region depth 2.68, 97% at depth <= 6).
+    double Damp = 1.0;
+    for (uint32_t D = 0; D < Depth; ++D)
+      Damp *= 0.55;
+    auto Within = [&](double &Acc, double Prob) {
+      Acc += Prob * Damp;
+      return P < Acc;
+    };
+    double Acc = 0;
+
+    if (DeepOk && Within(Acc, Opts.IfProb)) {
+      auto S = std::make_unique<Stmt>(StmtKind::If);
+      S->Value = genCond();
+      S->Then = genSubBlock(Depth + 1, InLoop);
+      return S;
+    }
+    if (DeepOk && Within(Acc, Opts.IfElseProb)) {
+      auto S = std::make_unique<Stmt>(StmtKind::If);
+      S->Value = genCond();
+      S->Then = genSubBlock(Depth + 1, InLoop);
+      S->Else = genSubBlock(Depth + 1, InLoop);
+      return S;
+    }
+    if (DeepOk && Within(Acc, Opts.WhileProb)) {
+      auto S = std::make_unique<Stmt>(StmtKind::While);
+      S->Value = genCond();
+      // FORTRAN-style perfect loop nests are common in the paper's
+      // corpus: sometimes the body is directly another loop.
+      if (Depth + 1 < Opts.MaxDepth && R.nextBool(0.3)) {
+        auto Inner = std::make_unique<Stmt>(StmtKind::While);
+        Inner->Value = genCond();
+        Inner->Then = genSubBlock(Depth + 2, /*InLoop=*/true);
+        S->Then = wrapBlock({});
+        S->Then->Body.push_back(std::move(Inner));
+        S->Then->Body.push_back(genAssign());
+      } else {
+        S->Then = genSubBlock(Depth + 1, /*InLoop=*/true);
+      }
+      return S;
+    }
+    if (DeepOk && Within(Acc, Opts.DoWhileProb)) {
+      auto S = std::make_unique<Stmt>(StmtKind::DoWhile);
+      S->Value = genCond();
+      S->Then = genSubBlock(Depth + 1, /*InLoop=*/true);
+      return S;
+    }
+    if (DeepOk && Within(Acc, Opts.ForProb)) {
+      auto S = std::make_unique<Stmt>(StmtKind::For);
+      std::string IV = pickDefVar();
+      S->Init = std::make_unique<Stmt>(StmtKind::Assign);
+      S->Init->Name = IV;
+      S->Init->Value = makeNumber(0, 0);
+      S->Value = makeBinary(OpKind::Lt, makeVarRef(IV, 0),
+                            makeNumber(R.nextInRange(2, 64), 0), 0);
+      S->Step = std::make_unique<Stmt>(StmtKind::Assign);
+      S->Step->Name = IV;
+      S->Step->Value =
+          makeBinary(OpKind::Add, makeVarRef(IV, 0), makeNumber(1, 0), 0);
+      S->Then = genSubBlock(Depth + 1, /*InLoop=*/true);
+      return S;
+    }
+    if (DeepOk && Within(Acc, Opts.SwitchProb)) {
+      auto S = std::make_unique<Stmt>(StmtKind::Switch);
+      S->Value = genExpr(1);
+      uint32_t Arms = 3 + static_cast<uint32_t>(R.nextBelow(4));
+      for (uint32_t I = 0; I < Arms; ++I) {
+        SwitchArm Arm;
+        Arm.HasValue = I + 1 < Arms || R.nextBool(0.5);
+        Arm.Value = I;
+        std::vector<StmtPtr> Body;
+        uint32_t K = 1 + static_cast<uint32_t>(R.nextBelow(3));
+        for (uint32_t J = 0; J < K && Budget > 0; ++J, --Budget)
+          Body.push_back(genAssign());
+        if (Body.empty())
+          Body.push_back(genAssign());
+        Arm.Body = std::move(Body);
+        S->Arms.push_back(std::move(Arm));
+      }
+      return S;
+    }
+    if (InLoop && Within(Acc, Opts.BreakProb)) {
+      // Guard the break so the rest of the loop body stays reachable.
+      auto S = std::make_unique<Stmt>(StmtKind::If);
+      S->Value = genCond();
+      S->Then = wrapBlock({});
+      S->Then->Body.push_back(std::make_unique<Stmt>(StmtKind::Break));
+      return S;
+    }
+    if (InLoop && Within(Acc, Opts.ContinueProb)) {
+      auto S = std::make_unique<Stmt>(StmtKind::If);
+      S->Value = genCond();
+      S->Then = wrapBlock({});
+      S->Then->Body.push_back(std::make_unique<Stmt>(StmtKind::Continue));
+      return S;
+    }
+    // Non-structural statement kinds are not depth-damped.
+    Damp = 1.0;
+    if (Within(Acc, Opts.ReturnProb)) {
+      auto S = std::make_unique<Stmt>(StmtKind::If);
+      S->Value = genCond();
+      S->Then = wrapBlock({});
+      auto Ret = std::make_unique<Stmt>(StmtKind::Return);
+      Ret->Value = genExpr(1);
+      S->Then->Body.push_back(std::move(Ret));
+      return S;
+    }
+    if (Within(Acc, Opts.CallProb)) {
+      auto S = std::make_unique<Stmt>(StmtKind::ExprStmt);
+      std::vector<ExprPtr> Args;
+      uint32_t K = static_cast<uint32_t>(R.nextBelow(3));
+      for (uint32_t I = 0; I < K; ++I)
+        Args.push_back(genExpr(1));
+      S->Value = makeCall("work" + std::to_string(R.nextBelow(4)),
+                          std::move(Args), 0);
+      return S;
+    }
+    if (UsesGoto && GotoAllowed && Within(Acc, Opts.GotoProb)) {
+      std::string L = "l" + std::to_string(NextLabel++);
+      if (R.nextBool(0.5)) {
+        // Flavor 1: guarded forward goto to a label owed at the end of
+        // the function (an exit-style jump; often still region-
+        // decomposable, like real FORTRAN error exits).
+        PendingLabels.push_back(L);
+        auto S = std::make_unique<Stmt>(StmtKind::If);
+        S->Value = genCond();
+        S->Then = wrapBlock({});
+        auto Gt = std::make_unique<Stmt>(StmtKind::Goto);
+        Gt->Name = L;
+        S->Then->Body.push_back(std::move(Gt));
+        return S;
+      }
+      // Flavor 2: guarded jump *into* a loop body — the genuinely
+      // unstructured (irreducible) shape that makes a procedure count as
+      // not fully structured.
+      return makeJumpIntoLoop();
+    }
+    return genAssign();
+  }
+
+  Rng &R;
+  const ProgramGenOptions &Opts;
+  std::vector<std::string> Vars;
+  std::vector<std::string> PendingLabels;
+  uint32_t NextLabel = 0;
+  uint32_t Budget = 0;
+  bool UsesGoto = false;
+};
+
+} // namespace
+
+Function pst::generateFunction(Rng &R, const ProgramGenOptions &Opts,
+                               std::string Name) {
+  return FuncGen(R, Opts).run(std::move(Name));
+}

@@ -1,0 +1,215 @@
+//===- DominatorsTest.cpp - dominator tree tests ------------------------------===//
+//
+// Part of the PST library test suite: unit tests on hand-built graphs plus
+// property tests cross-checking Lengauer-Tarjan against the iterative
+// builder and against a bitvector-dataflow oracle on random CFGs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/dom/Dominators.h"
+
+#include "pst/graph/CfgAlgorithms.h"
+#include "pst/support/BitVector.h"
+#include "pst/workload/CfgGenerators.h"
+
+#include <gtest/gtest.h>
+
+using namespace pst;
+
+namespace {
+
+/// Dominators straight from the definition, as a dataflow fixed point:
+/// Dom(entry) = {entry}; Dom(n) = {n} + intersect over preds.
+std::vector<BitVector> dominatorSetsOracle(const Cfg &G) {
+  uint32_t N = G.numNodes();
+  std::vector<BitVector> Dom(N, BitVector(N, true));
+  Dom[G.entry()] = BitVector(N);
+  Dom[G.entry()].set(G.entry());
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId V = 0; V < N; ++V) {
+      if (V == G.entry())
+        continue;
+      BitVector New(N, true);
+      for (EdgeId E : G.predEdges(V))
+        New.intersectWith(Dom[G.source(E)]);
+      New.set(V);
+      if (New != Dom[V]) {
+        Dom[V] = New;
+        Changed = true;
+      }
+    }
+  }
+  return Dom;
+}
+
+void expectTreeMatchesOracle(const Cfg &G, const DomTree &T) {
+  auto Dom = dominatorSetsOracle(G);
+  for (NodeId A = 0; A < G.numNodes(); ++A)
+    for (NodeId B = 0; B < G.numNodes(); ++B)
+      EXPECT_EQ(T.dominates(A, B), Dom[B].test(A))
+          << "dominates(" << A << ", " << B << ") mismatch";
+}
+
+Cfg loopWithIf() {
+  // entry -> h; h -> c -> {t, f} -> m -> h (back); h -> exit.
+  Cfg G;
+  NodeId Entry = G.addNode("entry");
+  NodeId H = G.addNode("h");
+  NodeId C = G.addNode("c");
+  NodeId Tn = G.addNode("t");
+  NodeId F = G.addNode("f");
+  NodeId M = G.addNode("m");
+  NodeId Exit = G.addNode("exit");
+  G.addEdge(Entry, H);
+  G.addEdge(H, C);
+  G.addEdge(C, Tn);
+  G.addEdge(C, F);
+  G.addEdge(Tn, M);
+  G.addEdge(F, M);
+  G.addEdge(M, H);
+  G.addEdge(H, Exit);
+  G.setEntry(Entry);
+  G.setExit(Exit);
+  return G;
+}
+
+} // namespace
+
+TEST(DomTree, DiamondIdoms) {
+  Cfg G = diamondLadderCfg(1);
+  // entry=0, cond0=1, then0=2, else0=3, join0=4, exit=5.
+  DomTree T = DomTree::buildIterative(G);
+  EXPECT_EQ(T.idom(1), 0u);
+  EXPECT_EQ(T.idom(2), 1u);
+  EXPECT_EQ(T.idom(3), 1u);
+  EXPECT_EQ(T.idom(4), 1u); // Join dominated by the cond, not an arm.
+  EXPECT_EQ(T.idom(5), 4u);
+  EXPECT_EQ(T.idom(T.root()), InvalidNode);
+}
+
+TEST(DomTree, DominatesQueries) {
+  Cfg G = loopWithIf();
+  DomTree T = DomTree::buildIterative(G);
+  EXPECT_TRUE(T.dominates(1, 5));        // h dominates m.
+  EXPECT_TRUE(T.dominates(2, 5));        // c dominates m.
+  EXPECT_FALSE(T.dominates(3, 5));       // t does not dominate m.
+  EXPECT_TRUE(T.dominates(4, 4));        // Reflexive.
+  EXPECT_FALSE(T.strictlyDominates(4, 4));
+  EXPECT_TRUE(T.strictlyDominates(0, 6));
+}
+
+TEST(DomTree, DepthsAreTreeDepths) {
+  Cfg G = chainCfg(3); // entry -> b0 -> b1 -> b2 -> exit.
+  DomTree T = DomTree::buildIterative(G);
+  EXPECT_EQ(T.depth(G.entry()), 0u);
+  EXPECT_EQ(T.depth(G.exit()), 4u);
+}
+
+TEST(DomTree, LengauerTarjanMatchesIterativeOnClassics) {
+  for (const Cfg &G : {diamondLadderCfg(3), nestedWhileCfg(3),
+                       nestedRepeatUntilCfg(4), irreducibleCfg(2)}) {
+    DomTree A = DomTree::buildIterative(G);
+    DomTree B = DomTree::buildLengauerTarjan(G);
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      EXPECT_EQ(A.idom(N), B.idom(N)) << "node " << N;
+  }
+}
+
+TEST(DomTree, MatchesOracleOnClassics) {
+  for (const Cfg &G : {diamondLadderCfg(2), nestedWhileCfg(2),
+                       irreducibleCfg(1), loopWithIf()}) {
+    expectTreeMatchesOracle(G, DomTree::buildIterative(G));
+    expectTreeMatchesOracle(G, DomTree::buildLengauerTarjan(G));
+  }
+}
+
+TEST(PostDom, LoopWithIf) {
+  Cfg G = loopWithIf();
+  DomTree P = DomTree::buildPostDom(G);
+  EXPECT_EQ(P.root(), G.exit());
+  // h postdominates everything except exit... including entry.
+  EXPECT_TRUE(P.dominates(1, 0));
+  EXPECT_TRUE(P.dominates(5, 2)); // m postdominates c.
+  EXPECT_FALSE(P.dominates(3, 2)); // t does not postdominate c.
+}
+
+TEST(DominanceFrontiers, Diamond) {
+  Cfg G = diamondLadderCfg(1);
+  DomTree T = DomTree::buildIterative(G);
+  DominanceFrontiers DF(G, T);
+  // Arms' frontier is the join; the cond's is empty (it dominates join).
+  EXPECT_EQ(DF.frontier(2), (std::vector<NodeId>{4}));
+  EXPECT_EQ(DF.frontier(3), (std::vector<NodeId>{4}));
+  EXPECT_TRUE(DF.frontier(1).empty());
+}
+
+TEST(DominanceFrontiers, LoopHeaderInOwnFrontier) {
+  Cfg G = nestedWhileCfg(1);
+  DomTree T = DomTree::buildIterative(G);
+  DominanceFrontiers DF(G, T);
+  // The loop header (node 2, "head0") is a merge reached around the back-
+  // edge, so it appears in its own frontier.
+  NodeId Head = 2;
+  const auto &F = DF.frontier(Head);
+  EXPECT_NE(std::find(F.begin(), F.end(), Head), F.end());
+}
+
+TEST(DominanceFrontiers, IteratedReachesFixpoint) {
+  Cfg G = nestedRepeatUntilCfg(3);
+  DomTree T = DomTree::buildIterative(G);
+  DominanceFrontiers DF(G, T);
+  // Iterating from a def in the innermost body must be a superset of the
+  // plain frontier.
+  std::vector<NodeId> Defs{4}; // h2 (inner head).
+  auto IDF = DF.iterated(Defs);
+  for (NodeId M : DF.frontier(4))
+    EXPECT_NE(std::find(IDF.begin(), IDF.end(), M), IDF.end());
+}
+
+// Property sweep: iterative == Lengauer-Tarjan == oracle on random CFGs.
+class DomRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DomRandomTest, AllThreeAgree) {
+  Rng R(GetParam());
+  RandomCfgOptions Opts;
+  Opts.NumNodes = 3 + static_cast<uint32_t>(R.nextBelow(15));
+  Opts.NumExtraEdges = static_cast<uint32_t>(R.nextBelow(20));
+  Cfg G = randomBackboneCfg(R, Opts);
+  ASSERT_TRUE(validateCfg(G));
+
+  DomTree A = DomTree::buildIterative(G);
+  DomTree B = DomTree::buildLengauerTarjan(G);
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    ASSERT_EQ(A.idom(N), B.idom(N)) << "seed " << GetParam() << " node " << N;
+  auto Dom = dominatorSetsOracle(G);
+  for (NodeId X = 0; X < G.numNodes(); ++X)
+    for (NodeId Y = 0; Y < G.numNodes(); ++Y)
+      ASSERT_EQ(A.dominates(X, Y), Dom[Y].test(X))
+          << "seed " << GetParam() << " pair " << X << "," << Y;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomRandomTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+// Property sweep: postdominators match the oracle on the reversed graph.
+class PostDomRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PostDomRandomTest, MatchesReversedOracle) {
+  Rng R(GetParam() * 7919 + 13);
+  RandomCfgOptions Opts;
+  Opts.NumNodes = 3 + static_cast<uint32_t>(R.nextBelow(12));
+  Opts.NumExtraEdges = static_cast<uint32_t>(R.nextBelow(15));
+  Cfg G = randomBackboneCfg(R, Opts);
+  ASSERT_TRUE(validateCfg(G));
+  DomTree P = DomTree::buildPostDom(G);
+  auto Dom = dominatorSetsOracle(reverseCfg(G));
+  for (NodeId X = 0; X < G.numNodes(); ++X)
+    for (NodeId Y = 0; Y < G.numNodes(); ++Y)
+      ASSERT_EQ(P.dominates(X, Y), Dom[Y].test(X))
+          << "seed " << GetParam() << " pair " << X << "," << Y;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostDomRandomTest,
+                         ::testing::Range<uint64_t>(0, 40));

@@ -1,0 +1,176 @@
+//===- SupportTest.cpp - support library unit tests --------------------------===//
+//
+// Part of the PST library test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/support/BitVector.h"
+#include "pst/support/Histogram.h"
+#include "pst/support/Rng.h"
+#include "pst/support/TableWriter.h"
+#include "pst/support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace pst;
+
+TEST(BitVector, StartsEmpty) {
+  BitVector V(100);
+  EXPECT_EQ(V.size(), 100u);
+  EXPECT_TRUE(V.none());
+  EXPECT_EQ(V.count(), 0u);
+}
+
+TEST(BitVector, SetTestReset) {
+  BitVector V(130);
+  V.set(0);
+  V.set(63);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(63));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 4u);
+  V.reset(63);
+  EXPECT_FALSE(V.test(63));
+  EXPECT_EQ(V.count(), 3u);
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector V(70, true);
+  EXPECT_EQ(V.count(), 70u);
+  V.resetAll();
+  EXPECT_TRUE(V.none());
+  V.setAll();
+  EXPECT_EQ(V.count(), 70u);
+}
+
+TEST(BitVector, UnionIntersectSubtract) {
+  BitVector A(10), B(10);
+  A.set(1);
+  A.set(3);
+  B.set(3);
+  B.set(5);
+  BitVector U = A;
+  EXPECT_TRUE(U.unionWith(B));
+  EXPECT_TRUE(U.test(1) && U.test(3) && U.test(5));
+  EXPECT_FALSE(U.unionWith(B)); // No change the second time.
+
+  BitVector I = A;
+  EXPECT_TRUE(I.intersectWith(B));
+  EXPECT_FALSE(I.test(1));
+  EXPECT_TRUE(I.test(3));
+
+  BitVector D = A;
+  EXPECT_TRUE(D.subtract(B));
+  EXPECT_TRUE(D.test(1));
+  EXPECT_FALSE(D.test(3));
+}
+
+TEST(BitVector, FindNextAndForEach) {
+  BitVector V(200);
+  V.set(5);
+  V.set(64);
+  V.set(199);
+  EXPECT_EQ(V.findNext(0), 5u);
+  EXPECT_EQ(V.findNext(6), 64u);
+  EXPECT_EQ(V.findNext(65), 199u);
+  EXPECT_EQ(V.findNext(200), 200u);
+  std::set<size_t> Bits;
+  V.forEachSetBit([&](size_t I) { Bits.insert(I); });
+  EXPECT_EQ(Bits, (std::set<size_t>{5, 64, 199}));
+}
+
+TEST(BitVector, EqualityIgnoresNothing) {
+  BitVector A(65), B(65);
+  EXPECT_EQ(A, B);
+  A.set(64);
+  EXPECT_NE(A, B);
+  B.set(64);
+  EXPECT_EQ(A, B);
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, RangesRespected) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(R.nextBelow(10), 10u);
+    int64_t X = R.nextInRange(-5, 5);
+    EXPECT_GE(X, -5);
+    EXPECT_LE(X, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, BoolProbabilityExtremes) {
+  Rng R(3);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(UnionFind, BasicMerges) {
+  UnionFind U(6);
+  EXPECT_FALSE(U.connected(0, 1));
+  EXPECT_TRUE(U.merge(0, 1));
+  EXPECT_TRUE(U.connected(0, 1));
+  EXPECT_FALSE(U.merge(0, 1));
+  U.merge(2, 3);
+  U.merge(1, 2);
+  EXPECT_TRUE(U.connected(0, 3));
+  EXPECT_FALSE(U.connected(0, 4));
+}
+
+TEST(Histogram, CountsAndCumulative) {
+  Histogram H;
+  H.add(1);
+  H.add(1);
+  H.add(3);
+  EXPECT_EQ(H.total(), 3u);
+  EXPECT_EQ(H.count(1), 2u);
+  EXPECT_EQ(H.count(2), 0u);
+  EXPECT_EQ(H.count(3), 1u);
+  EXPECT_EQ(H.cumulative(1), 2u);
+  EXPECT_EQ(H.cumulative(3), 3u);
+  EXPECT_EQ(H.maxValue(), 3u);
+  EXPECT_NEAR(H.mean(), (1 + 1 + 3) / 3.0, 1e-9);
+}
+
+TEST(Histogram, EmptyIsSane) {
+  Histogram H;
+  EXPECT_EQ(H.total(), 0u);
+  EXPECT_EQ(H.mean(), 0.0);
+  EXPECT_EQ(H.maxValue(), 0u);
+}
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter T;
+  T.setHeader({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("name"), std::string::npos);
+  EXPECT_NE(S.find("alpha"), std::string::npos);
+  // Numeric cells right-align: "22" ends at the same column as header.
+  EXPECT_NE(S.find("   22"), std::string::npos);
+}
+
+TEST(TableWriter, FmtDigits) {
+  EXPECT_EQ(TableWriter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::fmt(2.0, 0), "2");
+}
