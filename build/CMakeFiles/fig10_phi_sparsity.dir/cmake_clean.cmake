@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_phi_sparsity.dir/bench/fig10_phi_sparsity.cpp.o"
+  "CMakeFiles/fig10_phi_sparsity.dir/bench/fig10_phi_sparsity.cpp.o.d"
+  "bench/fig10_phi_sparsity"
+  "bench/fig10_phi_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_phi_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

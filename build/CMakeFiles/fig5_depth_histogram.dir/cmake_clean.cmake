@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_depth_histogram.dir/bench/fig5_depth_histogram.cpp.o"
+  "CMakeFiles/fig5_depth_histogram.dir/bench/fig5_depth_histogram.cpp.o.d"
+  "bench/fig5_depth_histogram"
+  "bench/fig5_depth_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_depth_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

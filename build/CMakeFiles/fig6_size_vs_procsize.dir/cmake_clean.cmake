@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_size_vs_procsize.dir/bench/fig6_size_vs_procsize.cpp.o"
+  "CMakeFiles/fig6_size_vs_procsize.dir/bench/fig6_size_vs_procsize.cpp.o.d"
+  "bench/fig6_size_vs_procsize"
+  "bench/fig6_size_vs_procsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_size_vs_procsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

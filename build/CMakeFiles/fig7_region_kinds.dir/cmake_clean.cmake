@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_region_kinds.dir/bench/fig7_region_kinds.cpp.o"
+  "CMakeFiles/fig7_region_kinds.dir/bench/fig7_region_kinds.cpp.o.d"
+  "bench/fig7_region_kinds"
+  "bench/fig7_region_kinds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_region_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_max_region_size.dir/bench/fig9_max_region_size.cpp.o"
+  "CMakeFiles/fig9_max_region_size.dir/bench/fig9_max_region_size.cpp.o.d"
+  "bench/fig9_max_region_size"
+  "bench/fig9_max_region_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_max_region_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

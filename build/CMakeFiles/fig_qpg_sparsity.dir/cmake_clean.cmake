@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_qpg_sparsity.dir/bench/fig_qpg_sparsity.cpp.o"
+  "CMakeFiles/fig_qpg_sparsity.dir/bench/fig_qpg_sparsity.cpp.o.d"
+  "bench/fig_qpg_sparsity"
+  "bench/fig_qpg_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_qpg_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

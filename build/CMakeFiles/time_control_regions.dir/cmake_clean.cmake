@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_control_regions.dir/bench/time_control_regions.cpp.o"
+  "CMakeFiles/time_control_regions.dir/bench/time_control_regions.cpp.o.d"
+  "bench/time_control_regions"
+  "bench/time_control_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_control_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_cycleequiv_vs_domtree.dir/bench/time_cycleequiv_vs_domtree.cpp.o"
+  "CMakeFiles/time_cycleequiv_vs_domtree.dir/bench/time_cycleequiv_vs_domtree.cpp.o.d"
+  "bench/time_cycleequiv_vs_domtree"
+  "bench/time_cycleequiv_vs_domtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_cycleequiv_vs_domtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

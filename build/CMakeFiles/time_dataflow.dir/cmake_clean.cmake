@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_dataflow.dir/bench/time_dataflow.cpp.o"
+  "CMakeFiles/time_dataflow.dir/bench/time_dataflow.cpp.o.d"
+  "bench/time_dataflow"
+  "bench/time_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_ssa_placement.dir/bench/time_ssa_placement.cpp.o"
+  "CMakeFiles/time_ssa_placement.dir/bench/time_ssa_placement.cpp.o.d"
+  "bench/time_ssa_placement"
+  "bench/time_ssa_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_ssa_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

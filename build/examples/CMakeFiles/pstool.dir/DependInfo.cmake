@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pstool.cpp" "examples/CMakeFiles/pstool.dir/pstool.cpp.o" "gcc" "examples/CMakeFiles/pstool.dir/pstool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pst_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/pst_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/pst_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdg/CMakeFiles/pst_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/pst_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycleequiv/CMakeFiles/pst_cycleequiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/pst_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssa_pipeline.dir/ssa_pipeline.cpp.o"
+  "CMakeFiles/ssa_pipeline.dir/ssa_pipeline.cpp.o.d"
+  "ssa_pipeline"
+  "ssa_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssa_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_report.dir/structure_report.cpp.o"
+  "CMakeFiles/structure_report.dir/structure_report.cpp.o.d"
+  "structure_report"
+  "structure_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

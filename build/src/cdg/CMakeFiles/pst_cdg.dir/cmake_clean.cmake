@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_cdg.dir/ControlDependence.cpp.o"
+  "CMakeFiles/pst_cdg.dir/ControlDependence.cpp.o.d"
+  "CMakeFiles/pst_cdg.dir/ControlRegions.cpp.o"
+  "CMakeFiles/pst_cdg.dir/ControlRegions.cpp.o.d"
+  "libpst_cdg.a"
+  "libpst_cdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

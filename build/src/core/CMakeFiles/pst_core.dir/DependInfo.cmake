@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ProgramStructureTree.cpp" "src/core/CMakeFiles/pst_core.dir/ProgramStructureTree.cpp.o" "gcc" "src/core/CMakeFiles/pst_core.dir/ProgramStructureTree.cpp.o.d"
+  "/root/repo/src/core/PstDominators.cpp" "src/core/CMakeFiles/pst_core.dir/PstDominators.cpp.o" "gcc" "src/core/CMakeFiles/pst_core.dir/PstDominators.cpp.o.d"
+  "/root/repo/src/core/RegionAnalysis.cpp" "src/core/CMakeFiles/pst_core.dir/RegionAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/pst_core.dir/RegionAnalysis.cpp.o.d"
+  "/root/repo/src/core/SeseOracle.cpp" "src/core/CMakeFiles/pst_core.dir/SeseOracle.cpp.o" "gcc" "src/core/CMakeFiles/pst_core.dir/SeseOracle.cpp.o.d"
+  "/root/repo/src/core/StructureMetrics.cpp" "src/core/CMakeFiles/pst_core.dir/StructureMetrics.cpp.o" "gcc" "src/core/CMakeFiles/pst_core.dir/StructureMetrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cycleequiv/CMakeFiles/pst_cycleequiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/pst_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_core.dir/ProgramStructureTree.cpp.o"
+  "CMakeFiles/pst_core.dir/ProgramStructureTree.cpp.o.d"
+  "CMakeFiles/pst_core.dir/PstDominators.cpp.o"
+  "CMakeFiles/pst_core.dir/PstDominators.cpp.o.d"
+  "CMakeFiles/pst_core.dir/RegionAnalysis.cpp.o"
+  "CMakeFiles/pst_core.dir/RegionAnalysis.cpp.o.d"
+  "CMakeFiles/pst_core.dir/SeseOracle.cpp.o"
+  "CMakeFiles/pst_core.dir/SeseOracle.cpp.o.d"
+  "CMakeFiles/pst_core.dir/StructureMetrics.cpp.o"
+  "CMakeFiles/pst_core.dir/StructureMetrics.cpp.o.d"
+  "libpst_core.a"
+  "libpst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cycleequiv/CycleEquiv.cpp" "src/cycleequiv/CMakeFiles/pst_cycleequiv.dir/CycleEquiv.cpp.o" "gcc" "src/cycleequiv/CMakeFiles/pst_cycleequiv.dir/CycleEquiv.cpp.o.d"
+  "/root/repo/src/cycleequiv/CycleEquivBrute.cpp" "src/cycleequiv/CMakeFiles/pst_cycleequiv.dir/CycleEquivBrute.cpp.o" "gcc" "src/cycleequiv/CMakeFiles/pst_cycleequiv.dir/CycleEquivBrute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_cycleequiv.dir/CycleEquiv.cpp.o"
+  "CMakeFiles/pst_cycleequiv.dir/CycleEquiv.cpp.o.d"
+  "CMakeFiles/pst_cycleequiv.dir/CycleEquivBrute.cpp.o"
+  "CMakeFiles/pst_cycleequiv.dir/CycleEquivBrute.cpp.o.d"
+  "libpst_cycleequiv.a"
+  "libpst_cycleequiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_cycleequiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_dataflow.dir/Dataflow.cpp.o"
+  "CMakeFiles/pst_dataflow.dir/Dataflow.cpp.o.d"
+  "CMakeFiles/pst_dataflow.dir/Problems.cpp.o"
+  "CMakeFiles/pst_dataflow.dir/Problems.cpp.o.d"
+  "CMakeFiles/pst_dataflow.dir/Qpg.cpp.o"
+  "CMakeFiles/pst_dataflow.dir/Qpg.cpp.o.d"
+  "CMakeFiles/pst_dataflow.dir/Seg.cpp.o"
+  "CMakeFiles/pst_dataflow.dir/Seg.cpp.o.d"
+  "libpst_dataflow.a"
+  "libpst_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

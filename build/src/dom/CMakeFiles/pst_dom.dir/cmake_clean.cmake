@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_dom.dir/Dominators.cpp.o"
+  "CMakeFiles/pst_dom.dir/Dominators.cpp.o.d"
+  "CMakeFiles/pst_dom.dir/LoopInfo.cpp.o"
+  "CMakeFiles/pst_dom.dir/LoopInfo.cpp.o.d"
+  "libpst_dom.a"
+  "libpst_dom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_dom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/CfgAlgorithms.cpp" "src/graph/CMakeFiles/pst_graph.dir/CfgAlgorithms.cpp.o" "gcc" "src/graph/CMakeFiles/pst_graph.dir/CfgAlgorithms.cpp.o.d"
+  "/root/repo/src/graph/CfgIO.cpp" "src/graph/CMakeFiles/pst_graph.dir/CfgIO.cpp.o" "gcc" "src/graph/CMakeFiles/pst_graph.dir/CfgIO.cpp.o.d"
+  "/root/repo/src/graph/Intervals.cpp" "src/graph/CMakeFiles/pst_graph.dir/Intervals.cpp.o" "gcc" "src/graph/CMakeFiles/pst_graph.dir/Intervals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_graph.dir/CfgAlgorithms.cpp.o"
+  "CMakeFiles/pst_graph.dir/CfgAlgorithms.cpp.o.d"
+  "CMakeFiles/pst_graph.dir/CfgIO.cpp.o"
+  "CMakeFiles/pst_graph.dir/CfgIO.cpp.o.d"
+  "CMakeFiles/pst_graph.dir/Intervals.cpp.o"
+  "CMakeFiles/pst_graph.dir/Intervals.cpp.o.d"
+  "libpst_graph.a"
+  "libpst_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

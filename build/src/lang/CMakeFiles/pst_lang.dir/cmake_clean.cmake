@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_lang.dir/Ast.cpp.o"
+  "CMakeFiles/pst_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/pst_lang.dir/Interp.cpp.o"
+  "CMakeFiles/pst_lang.dir/Interp.cpp.o.d"
+  "CMakeFiles/pst_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/pst_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/pst_lang.dir/Lower.cpp.o"
+  "CMakeFiles/pst_lang.dir/Lower.cpp.o.d"
+  "CMakeFiles/pst_lang.dir/Parser.cpp.o"
+  "CMakeFiles/pst_lang.dir/Parser.cpp.o.d"
+  "libpst_lang.a"
+  "libpst_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_ssa.dir/PhiPlacement.cpp.o"
+  "CMakeFiles/pst_ssa.dir/PhiPlacement.cpp.o.d"
+  "CMakeFiles/pst_ssa.dir/SsaBuilder.cpp.o"
+  "CMakeFiles/pst_ssa.dir/SsaBuilder.cpp.o.d"
+  "libpst_ssa.a"
+  "libpst_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_support.dir/TableWriter.cpp.o"
+  "CMakeFiles/pst_support.dir/TableWriter.cpp.o.d"
+  "libpst_support.a"
+  "libpst_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

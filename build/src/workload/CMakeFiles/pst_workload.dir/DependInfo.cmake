@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/CfgGenerators.cpp" "src/workload/CMakeFiles/pst_workload.dir/CfgGenerators.cpp.o" "gcc" "src/workload/CMakeFiles/pst_workload.dir/CfgGenerators.cpp.o.d"
+  "/root/repo/src/workload/Corpus.cpp" "src/workload/CMakeFiles/pst_workload.dir/Corpus.cpp.o" "gcc" "src/workload/CMakeFiles/pst_workload.dir/Corpus.cpp.o.d"
+  "/root/repo/src/workload/ProgramGenerator.cpp" "src/workload/CMakeFiles/pst_workload.dir/ProgramGenerator.cpp.o" "gcc" "src/workload/CMakeFiles/pst_workload.dir/ProgramGenerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/pst_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

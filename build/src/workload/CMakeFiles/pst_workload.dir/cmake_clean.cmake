@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_workload.dir/CfgGenerators.cpp.o"
+  "CMakeFiles/pst_workload.dir/CfgGenerators.cpp.o.d"
+  "CMakeFiles/pst_workload.dir/Corpus.cpp.o"
+  "CMakeFiles/pst_workload.dir/Corpus.cpp.o.d"
+  "CMakeFiles/pst_workload.dir/ProgramGenerator.cpp.o"
+  "CMakeFiles/pst_workload.dir/ProgramGenerator.cpp.o.d"
+  "libpst_workload.a"
+  "libpst_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdg.dir/ControlRegionsTest.cpp.o"
+  "CMakeFiles/test_cdg.dir/ControlRegionsTest.cpp.o.d"
+  "test_cdg"
+  "test_cdg.pdb"
+  "test_cdg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycleequiv.dir/CycleEquivTest.cpp.o"
+  "CMakeFiles/test_cycleequiv.dir/CycleEquivTest.cpp.o.d"
+  "test_cycleequiv"
+  "test_cycleequiv.pdb"
+  "test_cycleequiv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycleequiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/DominatorsTest.cpp" "tests/CMakeFiles/test_dom.dir/DominatorsTest.cpp.o" "gcc" "tests/CMakeFiles/test_dom.dir/DominatorsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pst_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycleequiv/CMakeFiles/pst_cycleequiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/pst_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pst_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pst_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/pst_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

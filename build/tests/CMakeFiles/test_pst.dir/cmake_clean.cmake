@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pst.dir/PstTest.cpp.o"
+  "CMakeFiles/test_pst.dir/PstTest.cpp.o.d"
+  "test_pst"
+  "test_pst.pdb"
+  "test_pst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssa.dir/SsaTest.cpp.o"
+  "CMakeFiles/test_ssa.dir/SsaTest.cpp.o.d"
+  "test_ssa"
+  "test_ssa.pdb"
+  "test_ssa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
