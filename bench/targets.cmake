@@ -5,8 +5,8 @@
 function(pst_add_bench name)
   add_executable(${name} ${PROJECT_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
-    pst_workload pst_dataflow pst_ssa pst_cdg pst_lang pst_core
-    pst_cycleequiv pst_dom pst_graph pst_support)
+    pst_workload pst_dataflow pst_ssa pst_cdg pst_incremental pst_lang
+    pst_core pst_cycleequiv pst_dom pst_graph pst_support)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -30,3 +30,4 @@ pst_add_timing_bench(time_cycleequiv_vs_domtree)
 pst_add_timing_bench(time_control_regions)
 pst_add_timing_bench(time_ssa_placement)
 pst_add_timing_bench(time_dataflow)
+pst_add_timing_bench(time_incremental_pst)

@@ -61,6 +61,14 @@ public:
   /// Builds the PST of \p G (which must satisfy \c validateCfg) in O(N + E).
   static ProgramStructureTree build(const Cfg &G);
 
+  /// As \c build, but with the cycle-equivalence classes already computed
+  /// (\p CE must come from a return-edge run on \p G). This is the plumbing
+  /// that lets callers owning a re-entrant \c CycleEquivEngine (the
+  /// incremental PST rebuilds many sub-CFGs per commit) avoid the per-run
+  /// buffer allocation inside \c computeCycleEquivalence.
+  static ProgramStructureTree buildWithCycleEquiv(const Cfg &G,
+                                                  CycleEquivResult CE);
+
   RegionId root() const { return 0; }
   uint32_t numRegions() const { return static_cast<uint32_t>(Regions.size()); }
   /// Number of real canonical regions (excludes the synthetic root).

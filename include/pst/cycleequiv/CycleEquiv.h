@@ -94,6 +94,22 @@ struct UndirectedGraphView {
 /// has one class entry per endpoint pair and HasReturnEdge = false.
 CycleEquivResult computeCycleEquivalenceRaw(const UndirectedGraphView &View);
 
+/// Re-entrant driver for repeated cycle-equivalence runs.
+///
+/// The algorithm is a pure function, so nothing stops callers from invoking
+/// \c computeCycleEquivalence in a loop; but workloads that run it over many
+/// small subgraphs (the incremental PST rebuilds one extracted sub-CFG per
+/// dirty region per commit) would pay an endpoint-buffer allocation per
+/// run. The engine keeps that buffer alive across runs; each \c run is
+/// otherwise identical to \c computeCycleEquivalence.
+class CycleEquivEngine {
+public:
+  CycleEquivResult run(const Cfg &G, bool AddReturnEdge = true);
+
+private:
+  UndirectedGraphView Scratch;
+};
+
 } // namespace pst
 
 #endif // PST_CYCLEEQUIV_CYCLEEQUIV_H

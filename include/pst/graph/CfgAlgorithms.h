@@ -76,6 +76,42 @@ Cfg simplifyCfg(const Cfg &G);
 /// these reduce it to a single node.
 bool isReducible(const Cfg &G);
 
+/// A sub-CFG cut out around a SESE region boundary.
+///
+/// The extracted graph contains the region's body nodes plus two synthetic
+/// nodes: \c Start (feeding the target of the region's entry edge) and
+/// \c End (fed by the source of the exit edge). The synthetic boundary
+/// edges stand in for the real entry/exit edges, so \c GlobalEdge maps them
+/// back to those edge ids. The result is itself a valid CFG, which is what
+/// lets \c ProgramStructureTree::build run on it unchanged.
+struct SubCfg {
+  Cfg Graph;
+  /// Synthetic entry/exit node (== Graph.entry() / Graph.exit()).
+  NodeId Start = InvalidNode, End = InvalidNode;
+  /// Local node id -> id in the enclosing graph; InvalidNode for Start/End.
+  std::vector<NodeId> GlobalNode;
+  /// Local edge id -> id in the enclosing graph. The synthetic boundary
+  /// edges map to the region's entry/exit edge ids.
+  std::vector<EdgeId> GlobalEdge;
+  /// Local ids of the synthetic boundary edges.
+  EdgeId LocalEntryEdge = InvalidEdge, LocalExitEdge = InvalidEdge;
+  /// Set when an edge other than EntryE/ExitE crossed the node-set
+  /// boundary: the node set was not a SESE body. Callers should treat the
+  /// extraction as failed (the incremental PST falls back to a full
+  /// rebuild).
+  bool BoundaryViolation = false;
+};
+
+/// Extracts the sub-CFG induced by \p BodyNodes with boundary edges
+/// \p EntryE (whose target is in the body) and \p ExitE (whose source is in
+/// the body). Edges for which \p EdgeDead reports true are skipped, which
+/// lets tombstoning wrappers (DynamicCfg) reuse the extraction. Successor
+/// order of body nodes is preserved, so DFS-derived structures on the
+/// sub-CFG agree with the enclosing graph. O(body size).
+SubCfg extractRegionSubCfg(const Cfg &G, const std::vector<NodeId> &BodyNodes,
+                           EdgeId EntryE, EdgeId ExitE,
+                           const std::vector<bool> *EdgeDead = nullptr);
+
 } // namespace pst
 
 #endif // PST_GRAPH_CFGALGORITHMS_H

@@ -10,12 +10,21 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 using namespace pst;
 
 ProgramStructureTree ProgramStructureTree::build(const Cfg &G) {
+  return buildWithCycleEquiv(G, computeCycleEquivalence(G,
+                                                        /*AddReturnEdge=*/true));
+}
+
+ProgramStructureTree
+ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE) {
+  assert(CE.HasReturnEdge && CE.EdgeClass.size() == G.numEdges() + 1 &&
+         "CE must be a return-edge run over G");
   ProgramStructureTree T;
-  T.CE = computeCycleEquivalence(G, /*AddReturnEdge=*/true);
+  T.CE = std::move(CE);
   uint32_t NumE = G.numEdges();
 
   // -- Pass 1: one directed DFS from entry recording the first-traversal

@@ -346,11 +346,13 @@ CycleEquivResult pst::computeCycleEquivalenceRaw(
   return CycleEquivSolver(View).run();
 }
 
-CycleEquivResult pst::computeCycleEquivalence(const Cfg &G,
-                                              bool AddReturnEdge) {
-  UndirectedGraphView View;
+namespace {
+
+CycleEquivResult runOnView(const Cfg &G, bool AddReturnEdge,
+                           UndirectedGraphView &View) {
   View.NumNodes = G.numNodes();
   View.Root = G.entry() != InvalidNode ? G.entry() : 0;
+  View.Endpoints.clear();
   View.Endpoints.reserve(G.numEdges() + (AddReturnEdge ? 1 : 0));
   for (EdgeId E = 0; E < G.numEdges(); ++E)
     View.Endpoints.emplace_back(G.source(E), G.target(E));
@@ -359,4 +361,16 @@ CycleEquivResult pst::computeCycleEquivalence(const Cfg &G,
   CycleEquivResult R = computeCycleEquivalenceRaw(View);
   R.HasReturnEdge = AddReturnEdge;
   return R;
+}
+
+} // namespace
+
+CycleEquivResult pst::computeCycleEquivalence(const Cfg &G,
+                                              bool AddReturnEdge) {
+  UndirectedGraphView View;
+  return runOnView(G, AddReturnEdge, View);
+}
+
+CycleEquivResult CycleEquivEngine::run(const Cfg &G, bool AddReturnEdge) {
+  return runOnView(G, AddReturnEdge, Scratch);
 }

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 #include <utility>
 
 using namespace pst;
@@ -262,4 +263,76 @@ bool pst::isReducible(const Cfg &G) {
     }
   }
   return AliveCount == 1;
+}
+
+SubCfg pst::extractRegionSubCfg(const Cfg &G,
+                                const std::vector<NodeId> &BodyNodes,
+                                EdgeId EntryE, EdgeId ExitE,
+                                const std::vector<bool> *EdgeDead) {
+  SubCfg S;
+  auto IsDead = [&](EdgeId E) { return EdgeDead && (*EdgeDead)[E]; };
+  assert(!IsDead(EntryE) && !IsDead(ExitE) && "boundary edge is dead");
+
+  // Local node ids 0..K-1 mirror BodyNodes; Start/End are appended last so
+  // local body indices match positions in BodyNodes.
+  std::unordered_map<NodeId, NodeId> Local;
+  Local.reserve(BodyNodes.size() * 2);
+  for (NodeId N : BodyNodes) {
+    NodeId L = S.Graph.addNode(G.node(N).Label);
+    S.GlobalNode.push_back(N);
+    Local.emplace(N, L);
+  }
+  S.Start = S.Graph.addNode("start*");
+  S.End = S.Graph.addNode("end*");
+  S.GlobalNode.push_back(InvalidNode);
+  S.GlobalNode.push_back(InvalidNode);
+  S.Graph.setEntry(S.Start);
+  S.Graph.setExit(S.End);
+
+  NodeId EntryTarget = G.target(EntryE);
+  auto ItT = Local.find(EntryTarget);
+  if (ItT == Local.end() || Local.count(G.source(EntryE)) ||
+      !Local.count(G.source(ExitE)) || Local.count(G.target(ExitE))) {
+    S.BoundaryViolation = true;
+    return S;
+  }
+
+  // The synthetic entry edge goes first so the sub-DFS starts exactly where
+  // the enclosing DFS entered the region.
+  S.LocalEntryEdge = S.Graph.addEdge(S.Start, ItT->second);
+  S.GlobalEdge.push_back(EntryE);
+
+  for (size_t I = 0; I < BodyNodes.size(); ++I) {
+    NodeId N = BodyNodes[I];
+    NodeId L = static_cast<NodeId>(I);
+    for (EdgeId E : G.succEdges(N)) {
+      if (IsDead(E))
+        continue;
+      if (E == ExitE) {
+        S.LocalExitEdge = S.Graph.addEdge(L, S.End);
+        S.GlobalEdge.push_back(ExitE);
+        continue;
+      }
+      auto It = Local.find(G.target(E));
+      if (It == Local.end()) {
+        S.BoundaryViolation = true; // A second exit crossing: not SESE.
+        return S;
+      }
+      S.Graph.addEdge(L, It->second);
+      S.GlobalEdge.push_back(E);
+    }
+    // A second entry crossing (a live pred from outside that is not the
+    // entry edge) also breaks the SESE precondition.
+    for (EdgeId E : G.predEdges(N)) {
+      if (IsDead(E) || E == EntryE)
+        continue;
+      if (!Local.count(G.source(E))) {
+        S.BoundaryViolation = true;
+        return S;
+      }
+    }
+  }
+  if (S.LocalExitEdge == InvalidEdge)
+    S.BoundaryViolation = true;
+  return S;
 }
