@@ -25,6 +25,11 @@ pst_add_bench(fig9_max_region_size)
 pst_add_bench(fig10_phi_sparsity)
 pst_add_bench(fig_qpg_sparsity)
 
+# Batch engine throughput (plain bench: custom JSON + allocation counter,
+# which google-benchmark's own allocations would pollute).
+pst_add_bench(time_batch_throughput)
+target_link_libraries(time_batch_throughput PRIVATE pst_runtime)
+
 # Timing comparisons (google-benchmark).
 pst_add_timing_bench(time_cycleequiv_vs_domtree)
 pst_add_timing_bench(time_control_regions)

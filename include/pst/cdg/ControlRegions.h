@@ -38,6 +38,7 @@
 #ifndef PST_CDG_CONTROLREGIONS_H
 #define PST_CDG_CONTROLREGIONS_H
 
+#include "pst/cycleequiv/CycleEquiv.h"
 #include "pst/graph/Cfg.h"
 
 #include <vector>
@@ -69,6 +70,22 @@ ControlRegionsResult computeControlRegionsLinear(const Cfg &G);
 /// nodes and undirecting edges... the savings in space and time ... are
 /// significant"); bench/time_control_regions compares both.
 ControlRegionsResult computeControlRegionsLinearImplicit(const Cfg &G);
+
+/// Reusable working memory for \c computeControlRegionsLinearImplicit:
+/// the synthesized T(S) endpoint buffer, the Figure-4 solver scratch, and
+/// the pre-densification class array. Same reuse contract as
+/// \c CycleEquivScratch (unspecified contents between runs, deterministic
+/// results, single-thread use).
+struct ControlRegionsScratch {
+  UndirectedGraphView View;
+  CycleEquivScratch Solver;
+  std::vector<uint32_t> Remap;
+};
+
+/// As \c computeControlRegionsLinearImplicit, with caller-owned working
+/// memory; with the scratch warm only the returned partition allocates.
+ControlRegionsResult computeControlRegionsLinearImplicit(
+    const Cfg &G, ControlRegionsScratch &Scratch);
 
 /// FOW87-style baseline: group nodes by materialized control dependence
 /// sets. O(N * E) time and space in the worst case.

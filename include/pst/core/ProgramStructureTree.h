@@ -39,6 +39,26 @@ using RegionId = uint32_t;
 /// Sentinel for "no region".
 inline constexpr RegionId InvalidRegion = ~RegionId(0);
 
+/// Reusable working memory for PST construction.
+///
+/// Owns the cycle-equivalence engine (endpoint buffer + solver scratch)
+/// and the builder's own transients: the edge-traversal clock, the two DFS
+/// walks' visited/stack arrays, and the CSR class->edges grouping. With
+/// the buffers warm, a build allocates only what the returned tree owns.
+/// Same contract as \c CycleEquivScratch: contents between builds are
+/// unspecified, results are independent of prior use, and one scratch must
+/// not be shared by two threads at once.
+struct PstBuildScratch {
+  CycleEquivEngine CE;
+  std::vector<uint32_t> EdgeTime;
+  std::vector<uint8_t> Visited;
+  std::vector<std::pair<NodeId, uint32_t>> Stack;
+  // CSR grouping of real edges by cycle-equivalence class, each segment
+  // sorted by traversal time.
+  std::vector<uint32_t> ClassOff, ClassCursor;
+  std::vector<EdgeId> ClassEdges;
+};
+
 /// One canonical SESE region (or the synthetic root).
 struct SeseRegion {
   /// Entry/exit edges; InvalidEdge for the synthetic root region.
@@ -61,6 +81,12 @@ public:
   /// Builds the PST of \p G (which must satisfy \c validateCfg) in O(N + E).
   static ProgramStructureTree build(const Cfg &G);
 
+  /// As \c build, with caller-owned working memory. Produces bit-identical
+  /// trees to the scratch-less overload; repeated builds through one warm
+  /// scratch perform no transient heap allocations. This is the serial
+  /// kernel the batch analyzer (pst/runtime) runs per worker thread.
+  static ProgramStructureTree build(const Cfg &G, PstBuildScratch &Scratch);
+
   /// As \c build, but with the cycle-equivalence classes already computed
   /// (\p CE must come from a return-edge run on \p G). This is the plumbing
   /// that lets callers owning a re-entrant \c CycleEquivEngine (the
@@ -68,6 +94,11 @@ public:
   /// buffer allocation inside \c computeCycleEquivalence.
   static ProgramStructureTree buildWithCycleEquiv(const Cfg &G,
                                                   CycleEquivResult CE);
+
+  /// Scratch-backed twin of \c buildWithCycleEquiv.
+  static ProgramStructureTree buildWithCycleEquiv(const Cfg &G,
+                                                  CycleEquivResult CE,
+                                                  PstBuildScratch &Scratch);
 
   RegionId root() const { return 0; }
   uint32_t numRegions() const { return static_cast<uint32_t>(Regions.size()); }

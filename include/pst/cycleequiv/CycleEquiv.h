@@ -94,20 +94,84 @@ struct UndirectedGraphView {
 /// has one class entry per endpoint pair and HasReturnEdge = false.
 CycleEquivResult computeCycleEquivalenceRaw(const UndirectedGraphView &View);
 
+/// Reusable working memory for the Figure-4 solver.
+///
+/// Every transient array the solver needs — the CSR undirected adjacency,
+/// the DFS worklists, the bracket arena (cells + edge records, stored
+/// structure-of-arrays), the per-node bracket-list heads and the capping
+/// backedge registrations — lives here instead of on the solver's own
+/// stack. A run sizes each vector with assign/clear, which reuses the
+/// capacity left by previous runs, so after warm-up a scratch-backed run
+/// performs no heap allocations beyond the result vector it returns.
+///
+/// Contents between runs are unspecified; the only contract is that a
+/// scratch may be reused for inputs of any size (larger inputs grow the
+/// buffers, smaller ones leave the excess capacity in place) and that runs
+/// are bit-deterministic in the input regardless of what the scratch held
+/// before. One scratch must not be used by two threads at once.
+struct CycleEquivScratch {
+  // CSR undirected adjacency: node V's incident (edge, other endpoint)
+  // pairs sit at [AdjOff[V], AdjOff[V+1]).
+  std::vector<uint32_t> AdjOff;
+  std::vector<uint32_t> AdjEdge;
+  std::vector<NodeId> AdjOther;
+  std::vector<uint32_t> SelfLoops;
+  std::vector<uint32_t> Cursor; // Shared fill cursor for the CSR builds.
+
+  // Undirected DFS.
+  std::vector<uint32_t> DfsNum;
+  std::vector<NodeId> Order;
+  std::vector<uint32_t> ParentEdge;
+  std::vector<uint8_t> EdgeUsed;
+  std::vector<std::pair<NodeId, uint32_t>> Stack;
+
+  // CSR tree children / backedge incidence (same offset+value layout).
+  std::vector<uint32_t> ChildOff;
+  std::vector<NodeId> ChildVal;
+  std::vector<uint32_t> BackFromOff, BackFromVal;
+  std::vector<uint32_t> BackToOff, BackToVal;
+
+  // Capping backedges registered per ancestor node, as intrusive singly
+  // linked lists (they are discovered during the reverse-preorder sweep,
+  // so their counts cannot be precomputed for a CSR pass).
+  std::vector<uint32_t> CapHead, CapNext;
+
+  // Edge records (real + capping), structure-of-arrays.
+  std::vector<uint32_t> RecClass, RecRecentSize, RecRecentClass, RecCell;
+  // Bracket arena cells.
+  std::vector<uint32_t> CellRec, CellPrev, CellNext;
+  // Per-node bracket list heads.
+  std::vector<uint32_t> ListHead, ListTail, ListSize;
+  std::vector<uint32_t> Hi;
+};
+
+/// As \c computeCycleEquivalenceRaw, with caller-owned working memory; the
+/// steady-state-allocation-free entry point batch pipelines build on.
+CycleEquivResult computeCycleEquivalenceRaw(const UndirectedGraphView &View,
+                                            CycleEquivScratch &Scratch);
+
 /// Re-entrant driver for repeated cycle-equivalence runs.
 ///
 /// The algorithm is a pure function, so nothing stops callers from invoking
 /// \c computeCycleEquivalence in a loop; but workloads that run it over many
-/// small subgraphs (the incremental PST rebuilds one extracted sub-CFG per
-/// dirty region per commit) would pay an endpoint-buffer allocation per
-/// run. The engine keeps that buffer alive across runs; each \c run is
-/// otherwise identical to \c computeCycleEquivalence.
+/// small graphs (the incremental PST rebuilds one extracted sub-CFG per
+/// dirty region per commit; the batch analyzer sweeps whole corpora of
+/// mostly-tiny procedures) would pay the full set of solver allocations per
+/// run. The engine keeps the endpoint buffer and a \c CycleEquivScratch
+/// alive across runs; each \c run is otherwise identical to
+/// \c computeCycleEquivalence.
 class CycleEquivEngine {
 public:
   CycleEquivResult run(const Cfg &G, bool AddReturnEdge = true);
 
+  /// Scratch-backed twin of \c computeCycleEquivalenceRaw.
+  CycleEquivResult runRaw(const UndirectedGraphView &View) {
+    return computeCycleEquivalenceRaw(View, Solver);
+  }
+
 private:
-  UndirectedGraphView Scratch;
+  UndirectedGraphView View;
+  CycleEquivScratch Solver;
 };
 
 } // namespace pst

@@ -65,6 +65,15 @@ public:
 
   Cfg() = default;
 
+  /// Pre-sizes the node table for \p N nodes. Purely an allocation hint
+  /// (builders that know or can estimate their final size avoid the
+  /// doubling-growth churn); never shrinks.
+  void reserveNodes(size_t N) { Nodes.reserve(N); }
+
+  /// Pre-sizes the edge table for \p N edges. Note the per-node Succs and
+  /// Preds lists are not affected; only the central edge array is.
+  void reserveEdges(size_t N) { Edges.reserve(N); }
+
   /// Adds a node and returns its id. The first two nodes added are, by
   /// convention, not special; call \c setEntry / \c setExit explicitly.
   NodeId addNode(std::string Label = "") {

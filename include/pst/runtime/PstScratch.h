@@ -1,0 +1,46 @@
+//===- pst/runtime/PstScratch.h - Per-thread analysis scratch ---*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The aggregated per-thread working memory of the full analysis pipeline
+/// (cycle equivalence -> PST -> control regions). One PstScratch per worker
+/// thread is the whole concurrency story of the batch engine: analyses
+/// share nothing else, so functions can be fanned out freely.
+///
+/// Lifecycle: default-construct once (empty), pass to any number of
+/// \c analyzeFunction calls; buffers grow to the largest function seen and
+/// stay warm, after which a call performs no transient heap allocations.
+/// The scratch is never a cache — results are bit-deterministic in the
+/// input no matter what was analyzed before (tests assert this by
+/// interleaving runs of different shapes). Not thread-safe; never share
+/// one scratch between concurrent calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_RUNTIME_PSTSCRATCH_H
+#define PST_RUNTIME_PSTSCRATCH_H
+
+#include "pst/cdg/ControlRegions.h"
+#include "pst/core/ProgramStructureTree.h"
+
+namespace pst {
+
+/// Working memory for one worker's serial analysis pipeline.
+struct PstScratch {
+  /// PST construction (embeds the cycle-equivalence engine).
+  PstBuildScratch PstBuild;
+  /// Control regions over the implicitly node-expanded graph T(S); kept
+  /// separate from PstBuild's solver scratch only so the two stages cannot
+  /// develop accidental ordering coupling — they are sized for different
+  /// node universes (N vs 2N) anyway.
+  ControlRegionsScratch CtrlRegions;
+};
+
+} // namespace pst
+
+#endif // PST_RUNTIME_PSTSCRATCH_H

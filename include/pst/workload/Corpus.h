@@ -42,8 +42,11 @@ struct CorpusFunction {
   LoweredFunction Fn;
 };
 
-/// Generates the full 254-procedure corpus. Deterministic in \p Seed.
-/// Every returned function has a valid CFG.
+/// Generates the full 254-procedure corpus. Deterministic in \p Seed, and
+/// each procedure's RNG stream is derived from (Seed, Suite, Name) rather
+/// than drawn sequentially, so a procedure's content is independent of
+/// generation order (stable under reordering, subsetting, or parallel
+/// generation). Every returned function has a valid CFG.
 std::vector<CorpusFunction> generatePaperCorpus(uint64_t Seed);
 
 } // namespace pst

@@ -58,25 +58,42 @@ ControlRegionsResult pst::computeControlRegionsLinear(const Cfg &G) {
 }
 
 ControlRegionsResult pst::computeControlRegionsLinearImplicit(const Cfg &G) {
+  ControlRegionsScratch Scratch;
+  return computeControlRegionsLinearImplicit(G, Scratch);
+}
+
+ControlRegionsResult pst::computeControlRegionsLinearImplicit(
+    const Cfg &G, ControlRegionsScratch &S) {
   // Endpoints of T(S) synthesized in place: node V splits into V_i = 2V
   // and V_o = 2V+1; representative edge V gets index V; original edge E
   // becomes (src_o, dst_i); the return edge closes the cycle.
-  UndirectedGraphView View;
   uint32_t N = G.numNodes();
-  View.NumNodes = 2 * N;
-  View.Root = 2 * G.entry();
-  View.Endpoints.reserve(N + G.numEdges() + 1);
+  S.View.NumNodes = 2 * N;
+  S.View.Root = 2 * G.entry();
+  S.View.Endpoints.clear();
+  S.View.Endpoints.reserve(N + G.numEdges() + 1);
   for (NodeId V = 0; V < N; ++V)
-    View.Endpoints.emplace_back(2 * V, 2 * V + 1);
+    S.View.Endpoints.emplace_back(2 * V, 2 * V + 1);
   for (EdgeId E = 0; E < G.numEdges(); ++E)
-    View.Endpoints.emplace_back(2 * G.source(E) + 1, 2 * G.target(E));
-  View.Endpoints.emplace_back(2 * G.exit() + 1, 2 * G.entry());
+    S.View.Endpoints.emplace_back(2 * G.source(E) + 1, 2 * G.target(E));
+  S.View.Endpoints.emplace_back(2 * G.exit() + 1, 2 * G.entry());
 
-  CycleEquivResult CE = computeCycleEquivalenceRaw(View);
-  std::vector<uint32_t> Raw(N);
-  for (NodeId V = 0; V < N; ++V)
-    Raw[V] = CE.classOf(V);
-  return densify(std::move(Raw));
+  CycleEquivResult CE = computeCycleEquivalenceRaw(S.View, S.Solver);
+
+  // Densify in first-occurrence order (canonicalizePartition's semantics)
+  // straight into the result, using the scratch remap table.
+  ControlRegionsResult R;
+  R.NodeClass.resize(N);
+  S.Remap.assign(CE.NumClasses, UINT32_MAX);
+  uint32_t Next = 0;
+  for (NodeId V = 0; V < N; ++V) {
+    uint32_t C = CE.classOf(V); // Representative edge of V has EdgeId V.
+    if (S.Remap[C] == UINT32_MAX)
+      S.Remap[C] = Next++;
+    R.NodeClass[V] = S.Remap[C];
+  }
+  R.NumClasses = Next;
+  return R;
 }
 
 ControlRegionsResult pst::computeControlRegionsFOW(const Cfg &G) {

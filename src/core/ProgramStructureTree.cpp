@@ -15,12 +15,25 @@
 using namespace pst;
 
 ProgramStructureTree ProgramStructureTree::build(const Cfg &G) {
-  return buildWithCycleEquiv(G, computeCycleEquivalence(G,
-                                                        /*AddReturnEdge=*/true));
+  PstBuildScratch Scratch;
+  return build(G, Scratch);
+}
+
+ProgramStructureTree ProgramStructureTree::build(const Cfg &G,
+                                                 PstBuildScratch &Scratch) {
+  return buildWithCycleEquiv(G, Scratch.CE.run(G, /*AddReturnEdge=*/true),
+                             Scratch);
 }
 
 ProgramStructureTree
 ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE) {
+  PstBuildScratch Scratch;
+  return buildWithCycleEquiv(G, std::move(CE), Scratch);
+}
+
+ProgramStructureTree
+ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE,
+                                          PstBuildScratch &S) {
   assert(CE.HasReturnEdge && CE.EdgeClass.size() == G.numEdges() + 1 &&
          "CE must be a return-edge run over G");
   ProgramStructureTree T;
@@ -31,58 +44,69 @@ ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE) {
   // time of every edge. Within a cycle equivalence class this order is the
   // dominance order (a dominator is traversed before anything it
   // dominates on every walk from entry).
-  std::vector<uint32_t> EdgeTime(NumE, UINT32_MAX);
+  S.EdgeTime.assign(NumE, UINT32_MAX);
   {
     uint32_t Clock = 0;
-    std::vector<bool> Visited(G.numNodes(), false);
-    std::vector<std::pair<NodeId, uint32_t>> Stack;
-    Visited[G.entry()] = true;
-    Stack.emplace_back(G.entry(), 0);
-    while (!Stack.empty()) {
-      auto &[V, Next] = Stack.back();
+    S.Visited.assign(G.numNodes(), 0);
+    S.Stack.clear();
+    S.Visited[G.entry()] = 1;
+    S.Stack.emplace_back(G.entry(), 0);
+    while (!S.Stack.empty()) {
+      auto &[V, Next] = S.Stack.back();
       const auto &Succs = G.succEdges(V);
       if (Next == Succs.size()) {
-        Stack.pop_back();
+        S.Stack.pop_back();
         continue;
       }
       EdgeId E = Succs[Next++];
-      EdgeTime[E] = Clock++;
+      S.EdgeTime[E] = Clock++;
       NodeId W = G.target(E);
-      if (!Visited[W]) {
-        Visited[W] = true;
-        Stack.emplace_back(W, 0);
+      if (!S.Visited[W]) {
+        S.Visited[W] = 1;
+        S.Stack.emplace_back(W, 0);
       }
     }
   }
 
-  // -- Pass 2: group real edges by class and pair consecutive edges (in
-  // traversal-time order) into canonical regions.
+  // -- Pass 2: group real edges by class (a CSR offset/value array built
+  // in two counting passes; per-class std::vector buckets would dominate
+  // the allocation profile on the tiny procedures real corpora are made
+  // of) and pair consecutive edges (in traversal-time order) into
+  // canonical regions.
   uint32_t NumClasses = T.CE.NumClasses;
-  std::vector<std::vector<EdgeId>> ClassEdges(NumClasses);
+  S.ClassOff.assign(NumClasses + 1, 0);
   for (EdgeId E = 0; E < NumE; ++E) {
-    assert(EdgeTime[E] != UINT32_MAX && "edge unreachable; CFG is invalid");
-    ClassEdges[T.CE.classOf(E)].push_back(E);
+    assert(S.EdgeTime[E] != UINT32_MAX && "edge unreachable; CFG is invalid");
+    ++S.ClassOff[T.CE.classOf(E) + 1];
   }
+  for (uint32_t C = 0; C < NumClasses; ++C)
+    S.ClassOff[C + 1] += S.ClassOff[C];
+  S.ClassCursor.assign(S.ClassOff.begin(), S.ClassOff.end() - 1);
+  S.ClassEdges.resize(NumE);
+  for (EdgeId E = 0; E < NumE; ++E)
+    S.ClassEdges[S.ClassCursor[T.CE.classOf(E)]++] = E;
 
   T.Regions.push_back(SeseRegion{}); // Synthetic root, id 0.
   T.EntryOf.assign(NumE, InvalidRegion);
   T.ExitOf.assign(NumE, InvalidRegion);
-  for (auto &Edges : ClassEdges) {
-    if (Edges.size() < 2)
+  for (uint32_t C = 0; C < NumClasses; ++C) {
+    EdgeId *Begin = S.ClassEdges.data() + S.ClassOff[C];
+    EdgeId *End = S.ClassEdges.data() + S.ClassOff[C + 1];
+    if (End - Begin < 2)
       continue;
-    std::sort(Edges.begin(), Edges.end(), [&](EdgeId A, EdgeId B) {
-      return EdgeTime[A] < EdgeTime[B];
+    std::sort(Begin, End, [&](EdgeId A, EdgeId B) {
+      return S.EdgeTime[A] < S.EdgeTime[B];
     });
-    for (size_t I = 0; I + 1 < Edges.size(); ++I) {
+    for (EdgeId *I = Begin; I + 1 != End; ++I) {
       RegionId R = static_cast<RegionId>(T.Regions.size());
       SeseRegion Reg;
-      Reg.EntryEdge = Edges[I];
-      Reg.ExitEdge = Edges[I + 1];
+      Reg.EntryEdge = I[0];
+      Reg.ExitEdge = I[1];
       T.Regions.push_back(Reg);
       // Only the first region opened by an edge is canonical for it; a
       // chain a,b,c yields (a,b) and (b,c) -- never (a,c).
-      T.EntryOf[Edges[I]] = R;
-      T.ExitOf[Edges[I + 1]] = R;
+      T.EntryOf[I[0]] = R;
+      T.ExitOf[I[1]] = R;
     }
   }
 
@@ -94,16 +118,16 @@ ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE) {
   T.NodeRegion.assign(G.numNodes(), T.root());
   T.EdgeRegion.assign(NumE, T.root());
   {
-    std::vector<bool> Visited(G.numNodes(), false);
-    std::vector<std::pair<NodeId, uint32_t>> Stack;
-    Visited[G.entry()] = true;
+    S.Visited.assign(G.numNodes(), 0);
+    S.Stack.clear();
+    S.Visited[G.entry()] = 1;
     T.NodeRegion[G.entry()] = T.root();
-    Stack.emplace_back(G.entry(), 0);
-    while (!Stack.empty()) {
-      auto &[V, Next] = Stack.back();
+    S.Stack.emplace_back(G.entry(), 0);
+    while (!S.Stack.empty()) {
+      auto &[V, Next] = S.Stack.back();
       const auto &Succs = G.succEdges(V);
       if (Next == Succs.size()) {
-        Stack.pop_back();
+        S.Stack.pop_back();
         continue;
       }
       EdgeId E = Succs[Next++];
@@ -118,10 +142,10 @@ ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE) {
       }
       T.EdgeRegion[E] = Cur;
       NodeId W = G.target(E);
-      if (!Visited[W]) {
-        Visited[W] = true;
+      if (!S.Visited[W]) {
+        S.Visited[W] = 1;
         T.NodeRegion[W] = Cur;
-        Stack.emplace_back(W, 0);
+        S.Stack.emplace_back(W, 0);
       }
     }
   }

@@ -12,6 +12,13 @@
 //    the undirected DFS.
 //  * Nodes are processed in reverse DFS preorder, which visits every child
 //    before its parent.
+//  * Every per-node incidence structure (adjacency, tree children, backedge
+//    push/delete sites) is a CSR offset/value array built in two counting
+//    passes over the edges, and all working memory lives in a
+//    CycleEquivScratch. The corpus this library targets is dominated by
+//    tiny procedures (the paper's Table 1 median), where per-node
+//    std::vector buckets cost more in allocator traffic than the algorithm
+//    itself; with the scratch warm, a run allocates nothing but its result.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,37 +33,21 @@ namespace {
 
 constexpr uint32_t None = ~uint32_t(0);
 
-/// One undirected edge record: a real CFG edge, the artificial return edge,
-/// or a capping backedge created by the algorithm.
-struct ERec {
-  uint32_t Class = UndefinedClass;
-  /// Bracket-list size when this edge was most recently the topmost bracket
-  /// (0 = never; real sizes are >= 1).
-  uint32_t RecentSize = 0;
-  /// Class handed out when this edge was most recently the topmost bracket.
-  uint32_t RecentClass = UndefinedClass;
-  /// Arena cell currently holding this edge in some bracket list.
-  uint32_t Cell = None;
-};
-
-/// Doubly-linked list cell in the bracket arena.
-struct Cell {
-  uint32_t Rec = None;
-  uint32_t Prev = None;
-  uint32_t Next = None;
-};
-
-/// Head/tail/size view of one node's bracket list.
-struct BList {
-  uint32_t Head = None;
-  uint32_t Tail = None;
-  uint32_t Size = 0;
-};
-
+/// The Figure-4 solver, operating entirely on arrays owned by a
+/// CycleEquivScratch.
+///
+/// Edge records (scratch \c Rec* arrays, indexed by record id) describe one
+/// undirected edge each: a real CFG edge (ids [0, NumRealEdges)), or a
+/// capping backedge created by the algorithm (appended past NumRealEdges).
+/// Per record: the assigned class, the bracket-list size/class from the
+/// most recent time it was the topmost bracket (size 0 = never; real sizes
+/// are >= 1), and the arena cell currently holding it in some bracket list.
+/// Bracket lists are doubly-linked cells (\c Cell* arrays) with one
+/// head/tail/size triple per node (\c List* arrays).
 class CycleEquivSolver {
 public:
-  explicit CycleEquivSolver(const UndirectedGraphView &View)
-      : View(View),
+  CycleEquivSolver(const UndirectedGraphView &View, CycleEquivScratch &S)
+      : View(View), S(S),
         NumRealEdges(static_cast<uint32_t>(View.Endpoints.size())) {}
 
   CycleEquivResult run();
@@ -64,54 +55,70 @@ public:
 private:
   // -- Bracket list primitives (all O(1)) --------------------------------
   uint32_t newCell(uint32_t RecId) {
-    Cells.push_back(Cell{RecId, None, None});
-    return static_cast<uint32_t>(Cells.size() - 1);
+    uint32_t C = static_cast<uint32_t>(S.CellRec.size());
+    S.CellRec.push_back(RecId);
+    S.CellPrev.push_back(None);
+    S.CellNext.push_back(None);
+    return C;
   }
 
-  void push(BList &L, uint32_t RecId) {
+  void push(NodeId L, uint32_t RecId) {
     uint32_t C = newCell(RecId);
-    Cells[C].Next = L.Head;
-    if (L.Head != None)
-      Cells[L.Head].Prev = C;
-    L.Head = C;
-    if (L.Tail == None)
-      L.Tail = C;
-    ++L.Size;
-    Recs[RecId].Cell = C;
+    S.CellNext[C] = S.ListHead[L];
+    if (S.ListHead[L] != None)
+      S.CellPrev[S.ListHead[L]] = C;
+    S.ListHead[L] = C;
+    if (S.ListTail[L] == None)
+      S.ListTail[L] = C;
+    ++S.ListSize[L];
+    S.RecCell[RecId] = C;
   }
 
-  void erase(BList &L, uint32_t RecId) {
-    uint32_t C = Recs[RecId].Cell;
+  void erase(NodeId L, uint32_t RecId) {
+    uint32_t C = S.RecCell[RecId];
     assert(C != None && "bracket not on any list");
-    uint32_t P = Cells[C].Prev, N = Cells[C].Next;
+    uint32_t P = S.CellPrev[C], N = S.CellNext[C];
     if (P != None)
-      Cells[P].Next = N;
+      S.CellNext[P] = N;
     else
-      L.Head = N;
+      S.ListHead[L] = N;
     if (N != None)
-      Cells[N].Prev = P;
+      S.CellPrev[N] = P;
     else
-      L.Tail = P;
-    --L.Size;
-    Recs[RecId].Cell = None;
+      S.ListTail[L] = P;
+    --S.ListSize[L];
+    S.RecCell[RecId] = None;
   }
 
-  /// Splices \p Src in front of \p Dst, emptying \p Src.
-  void concatInto(BList &Dst, BList &Src) {
-    if (Src.Head == None)
+  /// Splices \p Src's list in front of \p Dst's, emptying \p Src.
+  void concatInto(NodeId Dst, NodeId Src) {
+    if (S.ListHead[Src] == None)
       return;
-    if (Dst.Head == None) {
-      Dst = Src;
+    if (S.ListHead[Dst] == None) {
+      S.ListHead[Dst] = S.ListHead[Src];
+      S.ListTail[Dst] = S.ListTail[Src];
+      S.ListSize[Dst] = S.ListSize[Src];
     } else {
-      Cells[Src.Tail].Next = Dst.Head;
-      Cells[Dst.Head].Prev = Src.Tail;
-      Dst.Head = Src.Head;
-      Dst.Size += Src.Size;
+      S.CellNext[S.ListTail[Src]] = S.ListHead[Dst];
+      S.CellPrev[S.ListHead[Dst]] = S.ListTail[Src];
+      S.ListHead[Dst] = S.ListHead[Src];
+      S.ListSize[Dst] += S.ListSize[Src];
     }
-    Src = BList{};
+    S.ListHead[Src] = None;
+    S.ListTail[Src] = None;
+    S.ListSize[Src] = 0;
   }
 
   uint32_t newClass() { return NextClass++; }
+
+  /// Prefix sum over a CSR count array (Off[v+1] holds v's count on entry
+  /// and the end of v's range on exit, with Off[0] = 0) and cursor
+  /// initialization.
+  void finishOffsets(std::vector<uint32_t> &Off) {
+    for (size_t I = 1; I < Off.size(); ++I)
+      Off[I] += Off[I - 1];
+    S.Cursor.assign(Off.begin(), Off.end() - 1);
+  }
 
   // -- Phases -------------------------------------------------------------
   void buildAdjacency();
@@ -124,131 +131,180 @@ private:
   uint32_t numNodes() const { return View.NumNodes; }
 
   const UndirectedGraphView &View;
+  CycleEquivScratch &S;
   uint32_t NumRealEdges;
-
-  // Undirected adjacency: per node, (edge id, other endpoint).
-  std::vector<std::vector<std::pair<uint32_t, NodeId>>> Adj;
-  std::vector<uint32_t> SelfLoops; // Edge ids excluded from the DFS.
-
-  // DFS results.
-  std::vector<uint32_t> DfsNum;      // Preorder number per node.
-  std::vector<NodeId> Order;         // Order[i] = node with preorder i.
-  std::vector<uint32_t> ParentEdge;  // Undirected tree edge into node.
-  std::vector<std::vector<NodeId>> Children;
-
-  // Backedge incidence: by descendant endpoint (push site) and by ancestor
-  // endpoint (delete site).
-  std::vector<std::vector<uint32_t>> BackFrom, BackTo;
-  // Capping backedges registered for deletion at their ancestor endpoint.
-  std::vector<std::vector<uint32_t>> CappingTo;
-
-  std::vector<ERec> Recs;
-  std::vector<Cell> Cells;
-  std::vector<BList> Lists; // One bracket list per node.
-  std::vector<uint32_t> Hi; // Min dfsnum reachable from the node's subtree.
-
   uint32_t NextClass = 0;
 };
 
 void CycleEquivSolver::buildAdjacency() {
-  Adj.assign(numNodes(), {});
+  uint32_t N = numNodes();
+  S.SelfLoops.clear();
+  S.AdjOff.assign(N + 1, 0);
   for (uint32_t E = 0; E < NumRealEdges; ++E) {
     NodeId A = endpointA(E), B = endpointB(E);
     if (A == B) {
-      SelfLoops.push_back(E);
+      S.SelfLoops.push_back(E);
       continue;
     }
-    Adj[A].emplace_back(E, B);
-    Adj[B].emplace_back(E, A);
+    ++S.AdjOff[A + 1];
+    ++S.AdjOff[B + 1];
+  }
+  finishOffsets(S.AdjOff);
+  uint32_t Entries = S.AdjOff[N];
+  S.AdjEdge.resize(Entries);
+  S.AdjOther.resize(Entries);
+  for (uint32_t E = 0; E < NumRealEdges; ++E) {
+    NodeId A = endpointA(E), B = endpointB(E);
+    if (A == B)
+      continue;
+    uint32_t IA = S.Cursor[A]++;
+    S.AdjEdge[IA] = E;
+    S.AdjOther[IA] = B;
+    uint32_t IB = S.Cursor[B]++;
+    S.AdjEdge[IB] = E;
+    S.AdjOther[IB] = A;
   }
 }
 
 void CycleEquivSolver::undirectedDfs(NodeId Root) {
   uint32_t N = numNodes();
-  DfsNum.assign(N, None);
-  ParentEdge.assign(N, None);
-  Order.clear();
-  Order.reserve(N);
+  S.DfsNum.assign(N, None);
+  S.ParentEdge.assign(N, None);
+  S.EdgeUsed.assign(NumRealEdges, 0);
+  S.Order.clear();
+  S.Order.reserve(N);
+  S.Stack.clear();
 
-  std::vector<std::pair<NodeId, uint32_t>> Stack;
-  std::vector<bool> EdgeUsed(NumRealEdges, false);
-
-  DfsNum[Root] = 0;
-  Order.push_back(Root);
-  Stack.emplace_back(Root, 0);
-  while (!Stack.empty()) {
-    auto &[V, Next] = Stack.back();
-    if (Next == Adj[V].size()) {
-      Stack.pop_back();
+  S.DfsNum[Root] = 0;
+  S.Order.push_back(Root);
+  S.Stack.emplace_back(Root, S.AdjOff[Root]);
+  while (!S.Stack.empty()) {
+    auto &[V, Next] = S.Stack.back();
+    if (Next == S.AdjOff[V + 1]) {
+      S.Stack.pop_back();
       continue;
     }
-    auto [E, W] = Adj[V][Next++];
-    if (EdgeUsed[E])
+    uint32_t I = Next++;
+    uint32_t E = S.AdjEdge[I];
+    NodeId W = S.AdjOther[I];
+    if (S.EdgeUsed[E])
       continue;
-    if (DfsNum[W] != None)
+    if (S.DfsNum[W] != None)
       continue; // Non-tree edge; classified later.
-    EdgeUsed[E] = true;
-    DfsNum[W] = static_cast<uint32_t>(Order.size());
-    Order.push_back(W);
-    ParentEdge[W] = E;
-    Stack.emplace_back(W, 0);
+    S.EdgeUsed[E] = 1;
+    S.DfsNum[W] = static_cast<uint32_t>(S.Order.size());
+    S.Order.push_back(W);
+    S.ParentEdge[W] = E;
+    S.Stack.emplace_back(W, S.AdjOff[W]);
   }
 
-  Children.assign(N, {});
-  for (NodeId V : Order) {
-    if (ParentEdge[V] == None)
+  // Tree children as CSR: count per parent, then fill in preorder (the
+  // same per-parent order the bucket version produced).
+  S.ChildOff.assign(N + 1, 0);
+  for (NodeId V : S.Order) {
+    if (S.ParentEdge[V] == None)
       continue;
-    uint32_t E = ParentEdge[V];
+    uint32_t E = S.ParentEdge[V];
     NodeId P = endpointA(E) == V ? endpointB(E) : endpointA(E);
-    Children[P].push_back(V);
+    ++S.ChildOff[P + 1];
+  }
+  finishOffsets(S.ChildOff);
+  S.ChildVal.resize(S.ChildOff[N]);
+  for (NodeId V : S.Order) {
+    if (S.ParentEdge[V] == None)
+      continue;
+    uint32_t E = S.ParentEdge[V];
+    NodeId P = endpointA(E) == V ? endpointB(E) : endpointA(E);
+    S.ChildVal[S.Cursor[P]++] = V;
   }
 }
 
 void CycleEquivSolver::classifyEdges() {
   uint32_t N = numNodes();
-  BackFrom.assign(N, {});
-  BackTo.assign(N, {});
-  CappingTo.assign(N, {});
-  for (uint32_t E = 0; E < NumRealEdges; ++E) {
-    NodeId A = endpointA(E), B = endpointB(E);
-    if (A == B)
-      continue; // Self loop.
-    if (DfsNum[A] == None || DfsNum[B] == None)
-      continue; // Disconnected input (documented precondition violation).
-    if (ParentEdge[A] == E || ParentEdge[B] == E)
-      continue; // Tree edge.
-    // In an undirected DFS every non-tree edge joins a node to an ancestor.
-    NodeId Desc = DfsNum[A] > DfsNum[B] ? A : B;
-    NodeId Anc = Desc == A ? B : A;
-    BackFrom[Desc].push_back(E);
-    BackTo[Anc].push_back(E);
-  }
+  // Backedge incidence as two CSR arrays: by descendant endpoint (push
+  // site) and by ancestor endpoint (delete site). Two counting passes over
+  // the edges; the skip conditions must match exactly.
+  auto ForEachBackedge = [&](auto &&Fn) {
+    for (uint32_t E = 0; E < NumRealEdges; ++E) {
+      NodeId A = endpointA(E), B = endpointB(E);
+      if (A == B)
+        continue; // Self loop.
+      if (S.DfsNum[A] == None || S.DfsNum[B] == None)
+        continue; // Disconnected input (documented precondition violation).
+      if (S.ParentEdge[A] == E || S.ParentEdge[B] == E)
+        continue; // Tree edge.
+      // In an undirected DFS every non-tree edge joins a node to an
+      // ancestor.
+      NodeId Desc = S.DfsNum[A] > S.DfsNum[B] ? A : B;
+      NodeId Anc = Desc == A ? B : A;
+      Fn(E, Desc, Anc);
+    }
+  };
+
+  S.BackFromOff.assign(N + 1, 0);
+  S.BackToOff.assign(N + 1, 0);
+  ForEachBackedge([&](uint32_t, NodeId Desc, NodeId Anc) {
+    ++S.BackFromOff[Desc + 1];
+    ++S.BackToOff[Anc + 1];
+  });
+  finishOffsets(S.BackFromOff);
+  S.BackFromVal.resize(S.BackFromOff[N]);
+  ForEachBackedge([&](uint32_t E, NodeId Desc, NodeId) {
+    S.BackFromVal[S.Cursor[Desc]++] = E;
+  });
+  finishOffsets(S.BackToOff);
+  S.BackToVal.resize(S.BackToOff[N]);
+  ForEachBackedge([&](uint32_t E, NodeId, NodeId Anc) {
+    S.BackToVal[S.Cursor[Anc]++] = E;
+  });
 }
 
 void CycleEquivSolver::processNodes() {
   uint32_t N = numNodes();
   constexpr uint32_t Inf = std::numeric_limits<uint32_t>::max();
-  Hi.assign(N, Inf);
-  Lists.assign(N, BList{});
-  Recs.assign(NumRealEdges, ERec{});
-  Cells.reserve(NumRealEdges + N);
+  S.Hi.assign(N, Inf);
+  S.ListHead.assign(N, None);
+  S.ListTail.assign(N, None);
+  S.ListSize.assign(N, 0);
+  S.CapHead.assign(N, None);
+  S.CapNext.clear();
+
+  // At most one capping backedge per node can be created, and one arena
+  // cell per (real or capping) bracket push; reserving the worst case up
+  // front keeps the push_backs below allocation-free.
+  S.RecClass.assign(NumRealEdges, UndefinedClass);
+  S.RecRecentSize.assign(NumRealEdges, 0);
+  S.RecRecentClass.assign(NumRealEdges, UndefinedClass);
+  S.RecCell.assign(NumRealEdges, None);
+  S.RecClass.reserve(NumRealEdges + N);
+  S.RecRecentSize.reserve(NumRealEdges + N);
+  S.RecRecentClass.reserve(NumRealEdges + N);
+  S.RecCell.reserve(NumRealEdges + N);
+  S.CapNext.reserve(N);
+  S.CellRec.clear();
+  S.CellPrev.clear();
+  S.CellNext.clear();
+  S.CellRec.reserve(NumRealEdges + N);
+  S.CellPrev.reserve(NumRealEdges + N);
+  S.CellNext.reserve(NumRealEdges + N);
 
   // Reverse preorder visits children before parents.
-  for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+  for (auto It = S.Order.rbegin(); It != S.Order.rend(); ++It) {
     NodeId V = *It;
 
     // hi0: highest (smallest dfsnum) destination of a backedge from V.
     uint32_t Hi0 = Inf;
-    for (uint32_t E : BackFrom[V]) {
-      NodeId Anc = DfsNum[endpointA(E)] < DfsNum[endpointB(E)]
+    for (uint32_t I = S.BackFromOff[V]; I < S.BackFromOff[V + 1]; ++I) {
+      uint32_t E = S.BackFromVal[I];
+      NodeId Anc = S.DfsNum[endpointA(E)] < S.DfsNum[endpointB(E)]
                        ? endpointA(E)
                        : endpointB(E);
-      Hi0 = std::min(Hi0, DfsNum[Anc]);
+      Hi0 = std::min(Hi0, S.DfsNum[Anc]);
     }
     // hi1/hi2: highest and second-highest reach among the children.
     uint32_t Hi1 = Inf, Hi2 = Inf;
-    for (NodeId C : Children[V]) {
-      uint32_t H = Hi[C];
+    for (uint32_t I = S.ChildOff[V]; I < S.ChildOff[V + 1]; ++I) {
+      uint32_t H = S.Hi[S.ChildVal[I]];
       if (H < Hi1) {
         Hi2 = Hi1;
         Hi1 = H;
@@ -256,26 +312,27 @@ void CycleEquivSolver::processNodes() {
         Hi2 = H;
       }
     }
-    Hi[V] = std::min(Hi0, Hi1);
+    S.Hi[V] = std::min(Hi0, Hi1);
 
     // Assemble V's bracket list from the children's lists.
-    BList &L = Lists[V];
-    for (NodeId C : Children[V])
-      concatInto(L, Lists[C]);
+    for (uint32_t I = S.ChildOff[V]; I < S.ChildOff[V + 1]; ++I)
+      concatInto(V, S.ChildVal[I]);
 
     // Delete capping backedges ending here.
-    for (uint32_t D : CappingTo[V])
-      erase(L, D);
+    for (uint32_t D = S.CapHead[V]; D != None;
+         D = S.CapNext[D - NumRealEdges])
+      erase(V, D);
     // Delete ordinary backedges ending here; a backedge that was never a
     // topmost bracket still needs a class of its own.
-    for (uint32_t B : BackTo[V]) {
-      erase(L, B);
-      if (Recs[B].Class == UndefinedClass)
-        Recs[B].Class = newClass();
+    for (uint32_t I = S.BackToOff[V]; I < S.BackToOff[V + 1]; ++I) {
+      uint32_t B = S.BackToVal[I];
+      erase(V, B);
+      if (S.RecClass[B] == UndefinedClass)
+        S.RecClass[B] = newClass();
     }
     // Push backedges leaving V toward ancestors.
-    for (uint32_t E : BackFrom[V])
-      push(L, E);
+    for (uint32_t I = S.BackFromOff[V]; I < S.BackFromOff[V + 1]; ++I)
+      push(V, S.BackFromVal[I]);
 
     // Insert a capping backedge when brackets from two subtrees both out-
     // live V: it masks the mixed prefix up to the second-highest reach.
@@ -283,34 +340,38 @@ void CycleEquivSolver::processNodes() {
     // Figure 4 (which only tests hi2 < hi0): when the second-highest child
     // reach is V itself or deeper, those brackets die at or below V, no
     // masking is needed, and a capping edge could never be deleted.
-    if (Hi2 < Hi0 && Hi2 < DfsNum[V]) {
-      uint32_t D = static_cast<uint32_t>(Recs.size());
-      Recs.push_back(ERec{});
-      push(L, D);
-      NodeId AncNode = Order[Hi2]; // A proper ancestor, by the guard above.
-      CappingTo[AncNode].push_back(D);
+    if (Hi2 < Hi0 && Hi2 < S.DfsNum[V]) {
+      uint32_t D = static_cast<uint32_t>(S.RecClass.size());
+      S.RecClass.push_back(UndefinedClass);
+      S.RecRecentSize.push_back(0);
+      S.RecRecentClass.push_back(UndefinedClass);
+      S.RecCell.push_back(None);
+      push(V, D);
+      NodeId AncNode = S.Order[Hi2]; // A proper ancestor, by the guard.
+      S.CapNext.push_back(S.CapHead[AncNode]);
+      S.CapHead[AncNode] = D;
     }
 
     // Name the equivalence class of the tree edge into V.
-    uint32_t PE = ParentEdge[V];
+    uint32_t PE = S.ParentEdge[V];
     if (PE == None)
       continue; // DFS root.
-    if (L.Size == 0) {
+    if (S.ListSize[V] == 0) {
       // Bridge edge: only possible if the input was not strongly
       // connected. Give it a class so callers still get a partition.
-      Recs[PE].Class = newClass();
+      S.RecClass[PE] = newClass();
       continue;
     }
-    ERec &Top = Recs[Cells[L.Head].Rec];
-    if (Top.RecentSize != L.Size) {
-      Top.RecentSize = L.Size;
-      Top.RecentClass = newClass();
+    uint32_t Top = S.CellRec[S.ListHead[V]];
+    if (S.RecRecentSize[Top] != S.ListSize[V]) {
+      S.RecRecentSize[Top] = S.ListSize[V];
+      S.RecRecentClass[Top] = newClass();
     }
-    Recs[PE].Class = Top.RecentClass;
+    S.RecClass[PE] = S.RecRecentClass[Top];
     // A tree edge with exactly one bracket is cycle equivalent to it
     // (Theorem 4).
-    if (Top.RecentSize == 1)
-      Top.Class = Recs[PE].Class;
+    if (S.RecRecentSize[Top] == 1)
+      S.RecClass[Top] = S.RecClass[PE];
   }
 }
 
@@ -328,8 +389,8 @@ CycleEquivResult CycleEquivSolver::run() {
 
   R.EdgeClass.assign(NumRealEdges, UndefinedClass);
   for (uint32_t E = 0; E < NumRealEdges; ++E)
-    R.EdgeClass[E] = Recs[E].Class;
-  for (uint32_t E : SelfLoops)
+    R.EdgeClass[E] = S.RecClass[E];
+  for (uint32_t E : S.SelfLoops)
     R.EdgeClass[E] = NextClass++;
   // Defensive: edges of a disconnected component never got processed.
   for (uint32_t E = 0; E < NumRealEdges; ++E)
@@ -343,13 +404,20 @@ CycleEquivResult CycleEquivSolver::run() {
 
 CycleEquivResult pst::computeCycleEquivalenceRaw(
     const UndirectedGraphView &View) {
-  return CycleEquivSolver(View).run();
+  CycleEquivScratch Scratch;
+  return CycleEquivSolver(View, Scratch).run();
+}
+
+CycleEquivResult pst::computeCycleEquivalenceRaw(
+    const UndirectedGraphView &View, CycleEquivScratch &Scratch) {
+  return CycleEquivSolver(View, Scratch).run();
 }
 
 namespace {
 
 CycleEquivResult runOnView(const Cfg &G, bool AddReturnEdge,
-                           UndirectedGraphView &View) {
+                           UndirectedGraphView &View,
+                           CycleEquivScratch *Scratch) {
   View.NumNodes = G.numNodes();
   View.Root = G.entry() != InvalidNode ? G.entry() : 0;
   View.Endpoints.clear();
@@ -358,7 +426,8 @@ CycleEquivResult runOnView(const Cfg &G, bool AddReturnEdge,
     View.Endpoints.emplace_back(G.source(E), G.target(E));
   if (AddReturnEdge)
     View.Endpoints.emplace_back(G.exit(), G.entry());
-  CycleEquivResult R = computeCycleEquivalenceRaw(View);
+  CycleEquivResult R = Scratch ? computeCycleEquivalenceRaw(View, *Scratch)
+                               : computeCycleEquivalenceRaw(View);
   R.HasReturnEdge = AddReturnEdge;
   return R;
 }
@@ -368,9 +437,9 @@ CycleEquivResult runOnView(const Cfg &G, bool AddReturnEdge,
 CycleEquivResult pst::computeCycleEquivalence(const Cfg &G,
                                               bool AddReturnEdge) {
   UndirectedGraphView View;
-  return runOnView(G, AddReturnEdge, View);
+  return runOnView(G, AddReturnEdge, View, nullptr);
 }
 
 CycleEquivResult CycleEquivEngine::run(const Cfg &G, bool AddReturnEdge) {
-  return runOnView(G, AddReturnEdge, Scratch);
+  return runOnView(G, AddReturnEdge, View, &Solver);
 }

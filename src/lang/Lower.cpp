@@ -362,6 +362,15 @@ void Lowering::lowerStmt(const Stmt &S) {
 }
 
 std::optional<LoweredFunction> Lowering::run() {
+  // Pre-size the graph from the statement count: every statement opens at
+  // most four blocks (an if: then/join/continuation plus an optional else)
+  // and five edges, and most open none, so 2x + slack covers real bodies
+  // without over-committing memory on small ones.
+  uint32_t Stmts = countStatements(*F.Body);
+  Graph.reserveNodes(2 * Stmts + 8);
+  Graph.reserveEdges(2 * Stmts + 8);
+  Code.reserve(2 * Stmts + 8);
+
   NodeId Entry = Graph.addNode("entry");
   Code.emplace_back();
   Exit = newBlock("exit");
@@ -404,11 +413,20 @@ std::optional<LoweredFunction> Lowering::run() {
     Graph.addEdge(Bad, Exit); // Synthetic "infinite loop" escape edge.
   }
 
-  // Then drop unreachable nodes by rebuilding a compact graph.
+  // Then drop unreachable nodes by rebuilding a compact graph (sized
+  // exactly: survivor counts are known before the copy).
   std::vector<bool> Keep = reachableFrom(Graph, Entry);
   Cfg Compact;
+  size_t KeptNodes =
+      static_cast<size_t>(std::count(Keep.begin(), Keep.end(), true));
+  uint32_t KeptEdges = 0;
+  for (EdgeId E = 0; E < Graph.numEdges(); ++E)
+    KeptEdges += Keep[Graph.source(E)] && Keep[Graph.target(E)];
+  Compact.reserveNodes(KeptNodes);
+  Compact.reserveEdges(KeptEdges);
   std::vector<NodeId> NewId(Graph.numNodes(), InvalidNode);
   std::vector<std::vector<Instruction>> NewCode;
+  NewCode.reserve(KeptNodes);
   for (NodeId N = 0; N < Graph.numNodes(); ++N) {
     if (!Keep[N])
       continue;
@@ -469,6 +487,12 @@ LoweredFunction pst::expandToStatementLevel(const LoweredFunction &F,
   Out.NumStatements = F.NumStatements;
 
   const Cfg &G = F.Graph;
+  size_t TotalBlocks = 0;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    TotalBlocks += std::max<size_t>(1, F.Code[N].size());
+  Out.Graph.reserveNodes(TotalBlocks);
+  Out.Graph.reserveEdges(TotalBlocks - G.numNodes() + G.numEdges());
+  Out.Code.reserve(TotalBlocks);
   std::vector<NodeId> First(G.numNodes()), Last(G.numNodes());
   for (NodeId N = 0; N < G.numNodes(); ++N) {
     size_t K = std::max<size_t>(1, F.Code[N].size());

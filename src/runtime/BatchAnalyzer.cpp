@@ -1,0 +1,50 @@
+//===- BatchAnalyzer.cpp - Parallel corpus analysis ----------------------------===//
+//
+// Part of the PST library (see BatchAnalyzer.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/runtime/BatchAnalyzer.h"
+
+using namespace pst;
+
+FunctionAnalysis pst::analyzeFunction(const Cfg &G, PstScratch &Scratch,
+                                      bool ComputeControlRegions) {
+  FunctionAnalysis Out;
+  Out.Pst = ProgramStructureTree::build(G, Scratch.PstBuild);
+  if (ComputeControlRegions)
+    Out.ControlRegions =
+        computeControlRegionsLinearImplicit(G, Scratch.CtrlRegions);
+  return Out;
+}
+
+BatchAnalyzer::BatchAnalyzer(BatchOptions Opts)
+    : Opts(Opts), Pool(Opts.NumThreads) {
+  Scratches.resize(Pool.numWorkers());
+}
+
+std::vector<FunctionAnalysis>
+BatchAnalyzer::analyzeCorpus(std::span<const Cfg> Fns) {
+  std::vector<FunctionAnalysis> Out(Fns.size());
+  Pool.run(Fns.size(), Opts.ChunkSize,
+           [&](size_t Begin, size_t End, unsigned Worker) {
+             PstScratch &S = Scratches[Worker];
+             for (size_t I = Begin; I < End; ++I)
+               Out[I] = analyzeFunction(Fns[I], S,
+                                        Opts.ComputeControlRegions);
+           });
+  return Out;
+}
+
+std::vector<FunctionAnalysis>
+BatchAnalyzer::analyzeCorpus(std::span<const Cfg *const> Fns) {
+  std::vector<FunctionAnalysis> Out(Fns.size());
+  Pool.run(Fns.size(), Opts.ChunkSize,
+           [&](size_t Begin, size_t End, unsigned Worker) {
+             PstScratch &S = Scratches[Worker];
+             for (size_t I = Begin; I < End; ++I)
+               Out[I] = analyzeFunction(*Fns[I], S,
+                                        Opts.ComputeControlRegions);
+           });
+  return Out;
+}

@@ -18,6 +18,8 @@ Cfg pst::randomBackboneCfg(Rng &R, const RandomCfgOptions &Opts) {
   assert(Opts.NumNodes >= 2 && "need at least entry and exit");
   Cfg G;
   uint32_t N = Opts.NumNodes;
+  G.reserveNodes(N);
+  G.reserveEdges(static_cast<size_t>(N) - 1 + Opts.NumExtraEdges);
   for (uint32_t I = 0; I < N; ++I)
     G.addNode();
   G.setEntry(0);
@@ -73,6 +75,8 @@ Cfg pst::randomBackboneCfg(Rng &R, const RandomCfgOptions &Opts) {
 
 Cfg pst::chainCfg(uint32_t InnerNodes) {
   Cfg G;
+  G.reserveNodes(InnerNodes + 2);
+  G.reserveEdges(InnerNodes + 1);
   NodeId Entry = G.addNode("entry");
   NodeId Prev = Entry;
   for (uint32_t I = 0; I < InnerNodes; ++I) {
@@ -89,6 +93,8 @@ Cfg pst::chainCfg(uint32_t InnerNodes) {
 
 Cfg pst::diamondLadderCfg(uint32_t Count) {
   Cfg G;
+  G.reserveNodes(4 * static_cast<size_t>(Count) + 2);
+  G.reserveEdges(5 * static_cast<size_t>(Count) + 1);
   NodeId Entry = G.addNode("entry");
   NodeId Prev = Entry;
   for (uint32_t I = 0; I < Count; ++I) {
@@ -113,6 +119,8 @@ Cfg pst::diamondLadderCfg(uint32_t Count) {
 
 Cfg pst::nestedWhileCfg(uint32_t Depth, uint32_t BodyBlocks) {
   Cfg G;
+  G.reserveNodes(2 * static_cast<size_t>(Depth) + BodyBlocks + 2);
+  G.reserveEdges(3 * static_cast<size_t>(Depth) + BodyBlocks + 1);
   NodeId Entry = G.addNode("entry");
   NodeId Exit = G.addNode("exit");
   G.setEntry(Entry);
@@ -154,6 +162,8 @@ Cfg pst::nestedRepeatUntilCfg(uint32_t Depth) {
   // blocks h1..hD (h1 outermost) with a tail block t_i per level testing
   // the until condition: t_i -> h_i (backedge) and t_i -> t_{i-1}.
   Cfg G;
+  G.reserveNodes(2 * static_cast<size_t>(Depth) + 2);
+  G.reserveEdges(3 * static_cast<size_t>(Depth) + 1);
   NodeId Entry = G.addNode("entry");
   NodeId Exit = G.addNode("exit");
   G.setEntry(Entry);
@@ -180,6 +190,8 @@ Cfg pst::nestedRepeatUntilCfg(uint32_t Depth) {
 
 Cfg pst::irreducibleCfg(uint32_t Copies) {
   Cfg G;
+  G.reserveNodes(4 * static_cast<size_t>(Copies) + 2);
+  G.reserveEdges(7 * static_cast<size_t>(Copies) + 1);
   NodeId Entry = G.addNode("entry");
   NodeId Prev = Entry;
   for (uint32_t I = 0; I < Copies; ++I) {
@@ -210,6 +222,8 @@ Cfg pst::paperFigure1Cfg() {
   // regions (the two arms), and sequentially composed regions (the
   // conditional, the loop and the tail block share boundary edges).
   Cfg G;
+  G.reserveNodes(9);
+  G.reserveEdges(10);
   NodeId Start = G.addNode("start");
   NodeId Cond = G.addNode("cond");
   NodeId Then = G.addNode("then");

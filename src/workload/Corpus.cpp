@@ -10,8 +10,41 @@
 #include "pst/workload/ProgramGenerator.h"
 
 #include <cstdlib>
+#include <string_view>
 
 using namespace pst;
+
+namespace {
+
+/// Derives an RNG seed from the corpus seed and a textual identity
+/// (FNV-1a over the strings, finalized SplitMix-style). Seeding each
+/// procedure from (Seed, Suite, Name) rather than from sequential draws
+/// off one generator means a procedure's content does not depend on how
+/// many draws earlier procedures consumed — so the corpus is stable under
+/// reordering, subsetting, or parallel generation of its programs.
+uint64_t deriveSeed(uint64_t Seed, std::string_view Suite,
+                    std::string_view Name) {
+  uint64_t H = 0xcbf29ce484222325ULL ^ Seed;
+  auto Mix = [&H](std::string_view S) {
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 0x100000001b3ULL; // FNV prime.
+    }
+    H ^= 0xff; // Separator, so ("ab","c") != ("a","bc").
+    H *= 0x100000001b3ULL;
+  };
+  Mix(Suite);
+  Mix(Name);
+  // SplitMix64 finalizer: spreads the FNV state over all 64 bits.
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ULL;
+  H ^= H >> 27;
+  H *= 0x94d049bb133111ebULL;
+  H ^= H >> 31;
+  return H;
+}
+
+} // namespace
 
 const std::vector<CorpusProgramSpec> &pst::paperCorpusSpec() {
   static const std::vector<CorpusProgramSpec> Spec = {
@@ -25,23 +58,35 @@ const std::vector<CorpusProgramSpec> &pst::paperCorpusSpec() {
 }
 
 std::vector<CorpusFunction> pst::generatePaperCorpus(uint64_t Seed) {
-  Rng R(Seed);
   std::vector<CorpusFunction> Out;
+  size_t TotalProcs = 0;
+  for (const CorpusProgramSpec &P : paperCorpusSpec())
+    TotalProcs += P.Procedures;
+  Out.reserve(TotalProcs);
 
   for (const CorpusProgramSpec &P : paperCorpusSpec()) {
     // Split the program's lines across its procedures: random weights
     // around the mean, matching the paper's spread of procedure sizes
-    // (most procedures small, a few hundreds of statements).
+    // (most procedures small, a few hundreds of statements). The weights
+    // use a program-identity generator so every program's split is fixed
+    // no matter which programs are generated around it.
+    Rng ProgramR(deriveSeed(Seed, P.Suite, P.Name));
     std::vector<double> W(P.Procedures);
     double Total = 0;
     for (double &X : W) {
-      X = 0.25 + R.nextDouble() * (R.nextBool(0.15) ? 6.0 : 1.5);
+      X = 0.25 + ProgramR.nextDouble() * (ProgramR.nextBool(0.15) ? 6.0 : 1.5);
       Total += X;
     }
 
     for (uint32_t I = 0; I < P.Procedures; ++I) {
       uint32_t Target = std::max<uint32_t>(
           4, static_cast<uint32_t>(P.Lines * (W[I] / Total)));
+
+      // Each procedure draws from its own (Seed, Suite, Name)-derived
+      // stream — never from a shared sequential one — so procedure
+      // content is independent of generation order.
+      std::string FnName = std::string(P.Name) + "_p" + std::to_string(I);
+      Rng R(deriveSeed(Seed, P.Suite, FnName));
 
       ProgramGenOptions Opts;
       Opts.TargetStatements = Target;
@@ -56,8 +101,7 @@ std::vector<CorpusFunction> pst::generatePaperCorpus(uint64_t Seed) {
       // guarded exits) reproduces that mix.
       Opts.GotoProb = R.nextBool(0.26) ? 0.06 : 0.0;
 
-      Function F = generateFunction(
-          R, Opts, std::string(P.Name) + "_p" + std::to_string(I));
+      Function F = generateFunction(R, Opts, std::move(FnName));
       auto L = lowerFunction(F);
       if (!L || !validateCfg(L->Graph)) {
         // A generator bug, not an input error: fail loudly.

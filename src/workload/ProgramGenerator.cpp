@@ -21,12 +21,18 @@ public:
   Function run(std::string Name) {
     Function F;
     F.Name = std::move(Name);
+    F.Params.reserve(Opts.NumParams);
+    Vars.reserve(Opts.NumParams + Opts.NumVars);
     for (uint32_t I = 0; I < Opts.NumParams; ++I)
       F.Params.push_back("p" + std::to_string(I));
     for (uint32_t I = 0; I < Opts.NumParams; ++I)
       Vars.push_back("p" + std::to_string(I));
 
     auto Body = std::make_unique<Stmt>(StmtKind::Block);
+    // Declarations plus the top-level statement stream land here; the
+    // stream gets roughly one top-level entry per budgeted statement plus
+    // the glue assignment after each composite.
+    Body->Body.reserve(Opts.NumVars + 2 * Opts.TargetStatements + 2);
     // Declare the locals up front. Most are bare declarations (defined
     // later, near their uses); an initializer here would count as an
     // extra definition site for every variable and wash out the def

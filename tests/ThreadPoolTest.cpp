@@ -1,0 +1,131 @@
+//===- ThreadPoolTest.cpp - Pool scheduling and error propagation --------------===//
+//
+// Part of the PST library (see ThreadPool.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace pst;
+
+namespace {
+
+TEST(ThreadPoolTest, EmptyInputRunsNothing) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls{0};
+  Pool.run(0, 8, [&](size_t, size_t, unsigned) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, DefaultWorkerCountIsPositive) {
+  ThreadPool Pool;
+  EXPECT_GE(Pool.numWorkers(), 1u);
+}
+
+class ThreadPoolCoverageTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, size_t>> {};
+
+TEST_P(ThreadPoolCoverageTest, EveryItemExactlyOnce) {
+  auto [Workers, Chunk] = GetParam();
+  ThreadPool Pool(Workers);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<uint32_t>> Hits(N);
+  Pool.run(N, Chunk, [&](size_t Begin, size_t End, unsigned Worker) {
+    ASSERT_LT(Worker, Pool.numWorkers());
+    ASSERT_LE(End, N);
+    ASSERT_LT(Begin, End);
+    for (size_t I = Begin; I < End; ++I)
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "item " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ThreadPoolCoverageTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u),
+                       ::testing::Values(size_t(1), size_t(7),
+                                         size_t(64), size_t(5000))));
+
+TEST(ThreadPoolTest, SingleWorkerRunsOnCallingThread) {
+  ThreadPool Pool(1);
+  std::thread::id Caller = std::this_thread::get_id();
+  Pool.run(10, 3, [&](size_t, size_t, unsigned Worker) {
+    EXPECT_EQ(Worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+  });
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  for (unsigned Workers : {1u, 4u}) {
+    ThreadPool Pool(Workers);
+    auto Throwing = [](size_t Begin, size_t End, unsigned) {
+      for (size_t I = Begin; I < End; ++I)
+        if (I == 37)
+          throw std::runtime_error("item 37 is bad");
+    };
+    EXPECT_THROW(Pool.run(100, 4, Throwing), std::runtime_error)
+        << Workers << " workers";
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionMessageSurvives) {
+  ThreadPool Pool(4);
+  try {
+    Pool.run(64, 1, [](size_t Begin, size_t, unsigned) {
+      throw std::runtime_error("chunk " + std::to_string(Begin));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_EQ(std::string(E.what()).rfind("chunk ", 0), 0u);
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.run(50, 4,
+                        [](size_t, size_t, unsigned) {
+                          throw std::logic_error("boom");
+                        }),
+               std::logic_error);
+
+  // The pool must be fully quiesced and functional after the rethrow.
+  std::vector<std::atomic<uint32_t>> Hits(200);
+  Pool.run(200, 8, [&](size_t Begin, size_t End, unsigned) {
+    for (size_t I = Begin; I < End; ++I)
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1u);
+}
+
+TEST(ThreadPoolTest, ManySmallRunsBackToBack) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Total{0};
+  for (int Round = 0; Round < 200; ++Round)
+    Pool.run(17, 3, [&](size_t Begin, size_t End, unsigned) {
+      Total.fetch_add(End - Begin, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(Total.load(), 200u * 17u);
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanItems) {
+  ThreadPool Pool(8);
+  std::vector<std::atomic<uint32_t>> Hits(3);
+  Pool.run(3, 1, [&](size_t Begin, size_t End, unsigned) {
+    for (size_t I = Begin; I < End; ++I)
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u);
+}
+
+} // namespace
