@@ -13,6 +13,7 @@
 
 #include "pst/runtime/BatchAnalyzer.h"
 
+#include "pst/obs/Telemetry.h"
 #include "pst/workload/CfgGenerators.h"
 #include "pst/workload/Corpus.h"
 
@@ -24,6 +25,7 @@
 #include <iostream>
 #include <new>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -246,7 +248,21 @@ void writeJson(const std::string &Path, unsigned HwThreads,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bool WantTelemetry = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (Arg == "--telemetry") {
+      WantTelemetry = true;
+    } else {
+      std::cerr << "unknown option: " << Arg
+                << "\nusage: time_batch_throughput [--telemetry]\n";
+      return 1;
+    }
+  }
+  if (WantTelemetry)
+    Telemetry::setEnabled(true);
+
   const unsigned Hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<unsigned> ThreadCounts = {1, 2, 4};
   if (Hw != 1 && Hw != 2 && Hw != 4)
@@ -288,5 +304,9 @@ int main() {
 
   writeJson("BENCH_batch.json", Hw, Corpora, Allocs);
   std::cout << "\nwrote BENCH_batch.json\n";
+
+  if (WantTelemetry)
+    std::cout << "\n-- telemetry --\n"
+              << TelemetryRegistry::global().toJson();
   return 0;
 }

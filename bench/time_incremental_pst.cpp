@@ -14,9 +14,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "pst/incremental/IncrementalPst.h"
+#include "pst/obs/Telemetry.h"
 #include "pst/workload/CfgGenerators.h"
 
 #include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string_view>
 
 using namespace pst;
 
@@ -154,4 +158,31 @@ BENCHMARK(BM_IncrementalGotoHeavy);
 BENCHMARK(BM_FromScratchGotoHeavy);
 BENCHMARK(BM_IncrementalBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a --telemetry flag (stripped before google-benchmark
+// sees the arguments): enables the pst/obs probes for the whole run and
+// prints the per-stage counter/timer dump afterwards, so a bench run shows
+// *where* commit time goes (subtree rebuild vs cycleequiv vs splice).
+int main(int argc, char **argv) {
+  bool WantTelemetry = false;
+  int Kept = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::string_view(argv[I]) == "--telemetry")
+      WantTelemetry = true;
+    else
+      argv[Kept++] = argv[I];
+  }
+  argc = Kept;
+  if (WantTelemetry)
+    Telemetry::setEnabled(true);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (WantTelemetry)
+    std::cout << "\n-- telemetry --\n"
+              << TelemetryRegistry::global().toJson();
+  return 0;
+}

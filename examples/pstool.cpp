@@ -14,6 +14,10 @@
 //     --intervals     print the interval partition and reducibility
 //     --dot           dump Graphviz of the CFG
 //     --all           everything above
+//     --stats         enable telemetry; print the per-stage counter/timer
+//                     dump (TelemetryRegistry::toJson) after the analyses
+//     --trace-out <f> enable telemetry span retention; write chrome-trace
+//                     JSON to <f> (load it in chrome://tracing or Perfetto)
 //
 // Without an input file, a built-in demo program is analyzed.
 //
@@ -28,6 +32,8 @@
 #include "pst/graph/CfgIO.h"
 #include "pst/graph/Intervals.h"
 #include "pst/lang/Lower.h"
+#include "pst/obs/Telemetry.h"
+#include "pst/obs/TraceWriter.h"
 
 #include <fstream>
 #include <iostream>
@@ -43,7 +49,9 @@ struct Options {
   bool CfgInput = false;
   bool Pst = false, Regions = false, Dom = false, Loops = false;
   bool Intervals = false, Dot = false;
+  bool Stats = false;
   std::string InputFile;
+  std::string TraceFile;
 };
 
 const char *DemoSource = R"(
@@ -131,6 +139,26 @@ void analyzeCfg(const std::string &Name, const Cfg &G, const Options &Opt) {
   }
 }
 
+/// Emits the requested telemetry reports after all analyses ran.
+int finishTelemetry(const Options &Opt) {
+  if (Opt.Stats) {
+    std::cout << "\n-- telemetry --\n"
+              << TelemetryRegistry::global().toJson();
+  }
+  if (!Opt.TraceFile.empty()) {
+    TraceWriter Writer;
+    if (!Writer.writeFile(Opt.TraceFile)) {
+      std::cerr << "error: cannot write trace to '" << Opt.TraceFile
+                << "'\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << Writer.snapshot().Spans.size()
+              << " trace spans to " << Opt.TraceFile
+              << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -151,6 +179,15 @@ int main(int Argc, char **Argv) {
       Opt.Intervals = true;
     else if (A == "--dot")
       Opt.Dot = true;
+    else if (A == "--stats")
+      Opt.Stats = true;
+    else if (A == "--trace-out") {
+      if (I + 1 >= Argc) {
+        std::cerr << "error: --trace-out needs a file argument\n";
+        return 1;
+      }
+      Opt.TraceFile = Argv[++I];
+    }
     else if (A == "--all")
       Opt.Pst = Opt.Regions = Opt.Dom = Opt.Loops = Opt.Intervals = true;
     else if (!A.empty() && A[0] == '-') {
@@ -161,8 +198,19 @@ int main(int Argc, char **Argv) {
     }
   }
   if (!Opt.Pst && !Opt.Regions && !Opt.Dom && !Opt.Loops &&
-      !Opt.Intervals && !Opt.Dot)
+      !Opt.Intervals && !Opt.Dot) {
     Opt.Pst = true;
+    // When profiling, cover the whole front half of the pipeline by
+    // default so the trace shows cycleequiv -> PST -> control regions.
+    if (Opt.Stats || !Opt.TraceFile.empty())
+      Opt.Regions = true;
+  }
+
+  if (Opt.Stats || !Opt.TraceFile.empty()) {
+    Telemetry::setEnabled(true);
+    if (!Opt.TraceFile.empty())
+      Telemetry::setTraceEnabled(true);
+  }
 
   std::string Input;
   if (Opt.InputFile.empty()) {
@@ -192,7 +240,7 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     analyzeCfg("cfg", *G, Opt);
-    return 0;
+    return finishTelemetry(Opt);
   }
 
   std::vector<Diagnostic> Diags;
@@ -204,5 +252,5 @@ int main(int Argc, char **Argv) {
   }
   for (const LoweredFunction &F : *Fns)
     analyzeCfg(F.Name, F.Graph, Opt);
-  return 0;
+  return finishTelemetry(Opt);
 }

@@ -1,0 +1,85 @@
+//===- pst/obs/ScopedTimer.h - RAII pipeline spans --------------*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII timing spans. A \c ScopedTimer marks one dynamic extent of a
+/// pipeline stage ("cycleequiv.run", "pst.build", ...): construction
+/// pushes the name onto the calling thread's span stack, destruction pops
+/// it, folds the duration into the registry's per-name timer statistics,
+/// and — when \c Telemetry::traceEnabled() — retains a \c SpanEvent for
+/// chrome-trace export. Nesting therefore falls out of scoping: a PST
+/// build's span contains the cycle-equivalence span it runs.
+///
+/// Thread-safety contract: a ScopedTimer must be destroyed on the thread
+/// that constructed it (automatic storage guarantees this); spans on
+/// different threads are recorded into independent thread-local sinks with
+/// no shared mutable state, so instrumented code needs no extra locking.
+///
+/// Cost: when telemetry is runtime-disabled, constructor and destructor
+/// are one relaxed atomic load each; with PST_TELEMETRY=0 the PST_SPAN
+/// macro compiles away entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_OBS_SCOPEDTIMER_H
+#define PST_OBS_SCOPEDTIMER_H
+
+#include "pst/obs/Telemetry.h"
+
+namespace pst {
+
+namespace obs_detail {
+/// Pushes a frame on the calling thread's span stack; returns the start
+/// timestamp (ns since the registry epoch).
+uint64_t spanBegin(const char *Name);
+/// Pops the frame and records the completed span.
+void spanEnd(const char *Name, uint64_t StartNs);
+} // namespace obs_detail
+
+/// One RAII span. \p Name must be a string literal (or outlive the
+/// program); it doubles as the timer-statistics key and the trace label.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(const char *Name)
+      : Name(Telemetry::enabled() ? Name : nullptr) {
+    if (this->Name)
+      StartNs = obs_detail::spanBegin(this->Name);
+  }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  ~ScopedTimer() {
+    if (Name)
+      obs_detail::spanEnd(Name, StartNs);
+  }
+
+private:
+  /// Null when telemetry was disabled at construction (the span then stays
+  /// inert even if telemetry is enabled mid-extent, keeping the stack
+  /// balanced).
+  const char *Name;
+  uint64_t StartNs = 0;
+};
+
+} // namespace pst
+
+//===----------------------------------------------------------------------===//
+// PST_SPAN(Name): time the rest of the enclosing scope as one span.
+//===----------------------------------------------------------------------===//
+
+#if PST_TELEMETRY
+#define PST_OBS_CONCAT_IMPL(A, B) A##B
+#define PST_OBS_CONCAT(A, B) PST_OBS_CONCAT_IMPL(A, B)
+#define PST_SPAN(Name)                                                       \
+  ::pst::ScopedTimer PST_OBS_CONCAT(PstObsSpan_, __LINE__) { Name }
+#else
+#define PST_SPAN(Name) static_cast<void>(0)
+#endif
+
+#endif // PST_OBS_SCOPEDTIMER_H

@@ -1,0 +1,60 @@
+//===- pst/obs/TraceWriter.h - chrome://tracing export ----------*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports retained \c SpanEvent records as Trace Event Format JSON — the
+/// format chrome://tracing and Perfetto (https://ui.perfetto.dev) load
+/// directly. Each span becomes one complete ("ph":"X") event on its
+/// recording thread's track, so nested pipeline stages render as stacked
+/// slices; counters are appended as one summary metadata block.
+///
+/// Spans are only retained while both \c Telemetry::setEnabled(true) and
+/// \c Telemetry::setTraceEnabled(true) are in effect — enable both before
+/// the work of interest, then write the trace after it completes.
+///
+/// Thread-safety contract: a TraceWriter reads a \c TelemetrySnapshot it
+/// was given (or takes one itself), so the quiescence requirement of
+/// \c TelemetryRegistry::snapshot applies at construction/write time; the
+/// writer object itself is single-threaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_OBS_TRACEWRITER_H
+#define PST_OBS_TRACEWRITER_H
+
+#include "pst/obs/Telemetry.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace pst {
+
+/// Serializes one telemetry snapshot as chrome-trace JSON.
+class TraceWriter {
+public:
+  /// Captures \c TelemetryRegistry::global().snapshot() (requires
+  /// quiescence).
+  TraceWriter();
+  /// Uses a snapshot the caller already holds.
+  explicit TraceWriter(TelemetrySnapshot Snapshot);
+
+  /// Writes the trace JSON ({"traceEvents": [...], ...}).
+  void write(std::ostream &OS) const;
+
+  /// As \c write, to a file. Returns false if the file cannot be opened.
+  bool writeFile(const std::string &Path) const;
+
+  const TelemetrySnapshot &snapshot() const { return Snap; }
+
+private:
+  TelemetrySnapshot Snap;
+};
+
+} // namespace pst
+
+#endif // PST_OBS_TRACEWRITER_H

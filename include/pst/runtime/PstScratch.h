@@ -17,8 +17,14 @@
 /// stay warm, after which a call performs no transient heap allocations.
 /// The scratch is never a cache — results are bit-deterministic in the
 /// input no matter what was analyzed before (tests assert this by
-/// interleaving runs of different shapes). Not thread-safe; never share
-/// one scratch between concurrent calls.
+/// interleaving runs of different shapes).
+///
+/// Thread-safety contract: a PstScratch is single-threaded state with no
+/// internal synchronization. At most one \c analyzeFunction call may use
+/// a given scratch at a time, and handing a scratch from one thread to
+/// another requires an external happens-before edge (the batch engine
+/// gets this from \c ThreadPool::run's join; a scratch is pinned to one
+/// worker index for the whole batch and never migrates mid-run).
 ///
 //===----------------------------------------------------------------------===//
 

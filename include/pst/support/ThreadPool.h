@@ -23,6 +23,22 @@
 /// synchronization surprises, and per-worker scratch slot 0 stays on the
 /// caller's thread.
 ///
+/// Thread-safety contract:
+///
+///  * \c run is not reentrant and must not be called from two threads
+///    concurrently (asserted). The pool object itself may only be
+///    destroyed once no \c run is in flight.
+///  * The body runs concurrently on disjoint chunks; it may freely write
+///    to output slots indexed by item and to per-worker state indexed by
+///    the \c Worker argument, but anything else it touches needs its own
+///    synchronization.
+///  * \c run returning establishes a happens-before edge from every chunk
+///    body to the caller: all writes made by chunks — including to
+///    thread-local state such as pst/obs telemetry sinks — are visible
+///    after \c run returns. This is the quiescence guarantee that makes
+///    reporting via \c TelemetryRegistry::snapshot safe right after a
+///    batch completes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PST_SUPPORT_THREADPOOL_H

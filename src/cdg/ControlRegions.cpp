@@ -9,6 +9,7 @@
 #include "pst/cdg/ControlDependence.h"
 #include "pst/cycleequiv/CycleEquiv.h"
 #include "pst/cycleequiv/CycleEquivBrute.h"
+#include "pst/obs/ScopedTimer.h"
 
 #include <algorithm>
 #include <map>
@@ -46,6 +47,7 @@ static ControlRegionsResult densify(std::vector<uint32_t> Raw) {
 }
 
 ControlRegionsResult pst::computeControlRegionsLinear(const Cfg &G) {
+  PST_SPAN("cdg.control_regions");
   // T(S): expand nodes, then close with the return edge end_o -> start_i.
   Cfg H = nodeExpand(G);
   H.addEdge(2 * G.exit() + 1, 2 * G.entry());
@@ -54,7 +56,10 @@ ControlRegionsResult pst::computeControlRegionsLinear(const Cfg &G) {
   std::vector<uint32_t> Raw(G.numNodes());
   for (NodeId V = 0; V < G.numNodes(); ++V)
     Raw[V] = CE.classOf(V); // Representative edge of V has EdgeId V.
-  return densify(std::move(Raw));
+  ControlRegionsResult R = densify(std::move(Raw));
+  PST_COUNTER("cdg.runs", 1);
+  PST_COUNTER("cdg.classes", R.NumClasses);
+  return R;
 }
 
 ControlRegionsResult pst::computeControlRegionsLinearImplicit(const Cfg &G) {
@@ -64,6 +69,7 @@ ControlRegionsResult pst::computeControlRegionsLinearImplicit(const Cfg &G) {
 
 ControlRegionsResult pst::computeControlRegionsLinearImplicit(
     const Cfg &G, ControlRegionsScratch &S) {
+  PST_SPAN("cdg.control_regions");
   // Endpoints of T(S) synthesized in place: node V splits into V_i = 2V
   // and V_o = 2V+1; representative edge V gets index V; original edge E
   // becomes (src_o, dst_i); the return edge closes the cycle.
@@ -93,6 +99,8 @@ ControlRegionsResult pst::computeControlRegionsLinearImplicit(
     R.NodeClass[V] = S.Remap[C];
   }
   R.NumClasses = Next;
+  PST_COUNTER("cdg.runs", 1);
+  PST_COUNTER("cdg.classes", R.NumClasses);
   return R;
 }
 

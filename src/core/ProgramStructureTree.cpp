@@ -7,6 +7,7 @@
 #include "pst/core/ProgramStructureTree.h"
 
 #include "pst/graph/CfgAlgorithms.h"
+#include "pst/obs/ScopedTimer.h"
 
 #include <algorithm>
 #include <cassert>
@@ -21,6 +22,7 @@ ProgramStructureTree ProgramStructureTree::build(const Cfg &G) {
 
 ProgramStructureTree ProgramStructureTree::build(const Cfg &G,
                                                  PstBuildScratch &Scratch) {
+  PST_SPAN("pst.build");
   return buildWithCycleEquiv(G, Scratch.CE.run(G, /*AddReturnEdge=*/true),
                              Scratch);
 }
@@ -34,6 +36,9 @@ ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE) {
 ProgramStructureTree
 ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE,
                                           PstBuildScratch &S) {
+  // Region pairing + nesting only; the cycle-equivalence span nests under
+  // pst.build when the caller came through build().
+  PST_SPAN("pst.construct");
   assert(CE.HasReturnEdge && CE.EdgeClass.size() == G.numEdges() + 1 &&
          "CE must be a return-edge run over G");
   ProgramStructureTree T;
@@ -153,6 +158,9 @@ ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE,
   T.ImmediateNodes.assign(T.Regions.size(), {});
   for (NodeId N = 0; N < G.numNodes(); ++N)
     T.ImmediateNodes[T.NodeRegion[N]].push_back(N);
+  PST_COUNTER("pst.builds", 1);
+  PST_COUNTER("pst.canonical_regions", T.numCanonicalRegions());
+  PST_VALUE("pst.regions_per_build", T.numCanonicalRegions());
   return T;
 }
 

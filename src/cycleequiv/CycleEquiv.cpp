@@ -24,6 +24,8 @@
 
 #include "pst/cycleequiv/CycleEquiv.h"
 
+#include "pst/obs/ScopedTimer.h"
+
 #include <algorithm>
 #include <limits>
 
@@ -376,16 +378,31 @@ void CycleEquivSolver::processNodes() {
 }
 
 CycleEquivResult CycleEquivSolver::run() {
+  PST_SPAN("cycleequiv.run");
   CycleEquivResult R;
   if (numNodes() == 0) {
     R.EdgeClass.assign(NumRealEdges, UndefinedClass);
     return R;
   }
 
-  buildAdjacency();
-  undirectedDfs(View.Root < numNodes() ? View.Root : 0);
-  classifyEdges();
-  processNodes();
+  {
+    // The undirected DFS phase: adjacency CSR, the DFS itself, and the
+    // backedge push/delete-site classification it feeds.
+    PST_SPAN("cycleequiv.dfs");
+    buildAdjacency();
+    undirectedDfs(View.Root < numNodes() ? View.Root : 0);
+    classifyEdges();
+  }
+  {
+    // The bracket-set phase (the Figure-4 reverse-preorder sweep).
+    PST_SPAN("cycleequiv.brackets");
+    processNodes();
+  }
+  PST_COUNTER("cycleequiv.runs", 1);
+  PST_COUNTER("cycleequiv.nodes", numNodes());
+  PST_COUNTER("cycleequiv.edges", NumRealEdges);
+  PST_COUNTER("cycleequiv.capping_backedges",
+              S.RecClass.size() - NumRealEdges);
 
   R.EdgeClass.assign(NumRealEdges, UndefinedClass);
   for (uint32_t E = 0; E < NumRealEdges; ++E)
@@ -397,6 +414,7 @@ CycleEquivResult CycleEquivSolver::run() {
     if (R.EdgeClass[E] == UndefinedClass)
       R.EdgeClass[E] = NextClass++;
   R.NumClasses = NextClass;
+  PST_COUNTER("cycleequiv.classes", R.NumClasses);
   return R;
 }
 

@@ -8,6 +8,7 @@
 
 #include "pst/core/RegionAnalysis.h"
 #include "pst/graph/CfgAlgorithms.h"
+#include "pst/obs/ScopedTimer.h"
 
 #include <algorithm>
 #include <cassert>
@@ -16,6 +17,7 @@ using namespace pst;
 
 DataflowSolution pst::solveIterative(const Cfg &G,
                                      const BitVectorProblem &P) {
+  PST_SPAN("dataflow.solve_iterative");
   uint32_t N = G.numNodes();
   DataflowSolution S;
   S.In.assign(N, P.top());
@@ -25,8 +27,10 @@ DataflowSolution pst::solveIterative(const Cfg &G,
 
   std::vector<NodeId> RPO = reversePostOrder(G);
   bool Changed = true;
+  uint64_t Passes = 0;
   while (Changed) {
     Changed = false;
+    ++Passes;
     for (NodeId V : RPO) {
       if (V != G.entry()) {
         BitVector In = P.top();
@@ -51,6 +55,9 @@ DataflowSolution pst::solveIterative(const Cfg &G,
       }
     }
   }
+  PST_COUNTER("dataflow.iterative_solves", 1);
+  PST_COUNTER("dataflow.iterative_passes", Passes);
+  PST_VALUE("dataflow.passes_per_solve", Passes);
   return S;
 }
 
@@ -128,6 +135,8 @@ BodySolution solveBody(const CollapsedBody &B, const BitVectorProblem &P,
 DataflowSolution pst::solveElimination(const Cfg &G,
                                        const ProgramStructureTree &T,
                                        const BitVectorProblem &P) {
+  PST_SPAN("dataflow.solve_elimination");
+  PST_COUNTER("dataflow.elimination_solves", 1);
   uint32_t NumRegions = T.numRegions();
 
   // Collapsed bodies, built once per region.

@@ -6,6 +6,8 @@
 
 #include "pst/dataflow/Qpg.h"
 
+#include "pst/obs/ScopedTimer.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -35,6 +37,7 @@ std::vector<bool> markOpaqueRegions(const Cfg &G,
 
 Qpg pst::buildQpg(const Cfg &G, const ProgramStructureTree &T,
                   const BitVectorProblem &P) {
+  PST_SPAN("dataflow.qpg_build");
   std::vector<bool> Opaque = markOpaqueRegions(G, T, P);
 
   Qpg Q;
@@ -78,11 +81,15 @@ Qpg pst::buildQpg(const Cfg &G, const ProgramStructureTree &T,
         Work.push_back(V);
     }
   }
+  PST_COUNTER("dataflow.qpg_builds", 1);
+  PST_COUNTER("dataflow.qpg_nodes", Q.Nodes.size());
+  PST_COUNTER("dataflow.qpg_edges", Q.Edges.size());
   return Q;
 }
 
 EdgeSolution pst::solveOnQpg(const Cfg &G, const ProgramStructureTree &T,
                              const BitVectorProblem &P, Qpg *OutQpg) {
+  PST_SPAN("dataflow.qpg_solve");
   Qpg Q = buildQpg(G, T, P);
 
   // Iterate on the QPG: In[q] = meet of Out over incoming edges' sources;

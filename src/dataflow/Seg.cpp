@@ -7,6 +7,7 @@
 #include "pst/dataflow/Seg.h"
 
 #include "pst/graph/CfgAlgorithms.h"
+#include "pst/obs/ScopedTimer.h"
 
 #include <algorithm>
 #include <cassert>
@@ -15,6 +16,7 @@ using namespace pst;
 
 Seg pst::buildSeg(const Cfg &G, const DomTree &DT,
                   const DominanceFrontiers &DF, const BitVectorProblem &P) {
+  PST_SPAN("dataflow.seg_build");
   (void)DT; // The tree is only needed to build DF; kept for symmetry.
   uint32_t N = G.numNodes();
 
@@ -111,12 +113,16 @@ Seg pst::buildSeg(const Cfg &G, const DomTree &DT,
     S.Edges.push_back(Seg::Edge{From, To});
     S.Preds[To].push_back(Id);
   }
+  PST_COUNTER("dataflow.seg_builds", 1);
+  PST_COUNTER("dataflow.seg_nodes", S.Nodes.size());
+  PST_COUNTER("dataflow.seg_edges", S.Edges.size());
   return S;
 }
 
 DataflowSolution pst::solveOnSeg(const Cfg &G, const DomTree &DT,
                                  const DominanceFrontiers &DF,
                                  const BitVectorProblem &P, Seg *OutSeg) {
+  PST_SPAN("dataflow.seg_solve");
   Seg S = buildSeg(G, DT, DF, P);
   uint32_t M = S.numNodes();
   std::vector<BitVector> In(M, P.top()), Out(M, P.top());

@@ -24,6 +24,7 @@
 #include "pst/incremental/IncrementalPst.h"
 
 #include "pst/graph/CfgAlgorithms.h"
+#include "pst/obs/ScopedTimer.h"
 
 #include <algorithm>
 #include <cassert>
@@ -296,13 +297,16 @@ bool IncrementalPst::deleteEdge(EdgeId E) {
 //===----------------------------------------------------------------------===//
 
 uint32_t IncrementalPst::commit() {
+  PST_SPAN("incremental.commit");
   absorbJournal();
   if (!RootDirty && DirtySet.empty())
     return 0;
   ++Stats.Commits;
   Stats.FullRecomputeNodes += DG.numNodes();
+  PST_COUNTER("incremental.commits", 1);
 
   if (RootDirty) {
+    PST_COUNTER("incremental.full_rebuild_fallbacks", 1);
     fullRebuild();
     return 0;
   }
@@ -332,11 +336,13 @@ uint32_t IncrementalPst::commit() {
   DirtySet.clear();
   RootDirty = false;
   PendingNodeRegion.clear();
+  PST_COUNTER("incremental.subtrees_rebuilt", Rebuilt);
   return Rebuilt;
 }
 
 bool IncrementalPst::rebuildSubtree(RegionId D,
                                     const std::vector<NodeId> &Body) {
+  PST_SPAN("incremental.subtree_rebuild");
   assert(D != root() && Regions[D].Live && "dirty region must be real");
   assert(DG.edgeLive(Regions[D].EntryEdge) &&
          DG.edgeLive(Regions[D].ExitEdge) &&
@@ -353,6 +359,8 @@ bool IncrementalPst::rebuildSubtree(RegionId D,
   ++Stats.SubtreesRebuilt;
   Stats.NodesReprocessed += Body.size();
   Stats.EdgesReprocessed += Sub.Graph.numEdges();
+  PST_COUNTER("incremental.nodes_reprocessed", Body.size());
+  PST_VALUE("incremental.rebuild_body_nodes", Body.size());
 
   RegionId P = Regions[D].Parent;
   uint32_t BaseDepth = Regions[P].Depth;
@@ -455,6 +463,7 @@ bool IncrementalPst::rebuildSubtree(RegionId D,
 }
 
 void IncrementalPst::fullRebuild() {
+  PST_SPAN("incremental.full_rebuild");
   std::vector<EdgeId> GlobalOf;
   Cfg M = DG.materialize(&GlobalOf);
   ProgramStructureTree T =

@@ -1,0 +1,105 @@
+//===- TraceWriter.cpp - chrome://tracing export -------------------------------===//
+//
+// Part of the PST library (see TraceWriter.h for the reference).
+//
+// Trace Event Format reference: the "JSON Array Format" / "JSON Object
+// Format" accepted by chrome://tracing and Perfetto. We emit the object
+// form: {"traceEvents": [...], "displayTimeUnit": "ms"}. Every retained
+// span becomes a complete event ("ph":"X", timestamps in fractional
+// microseconds); thread-name metadata events label each worker's track.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/obs/TraceWriter.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+using namespace pst;
+
+TraceWriter::TraceWriter() : Snap(TelemetryRegistry::global().snapshot()) {}
+
+TraceWriter::TraceWriter(TelemetrySnapshot Snapshot)
+    : Snap(std::move(Snapshot)) {}
+
+namespace {
+
+void appendEscaped(std::ostream &OS, std::string_view S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      OS << '\\' << C;
+    else if (static_cast<unsigned char>(C) < 0x20)
+      OS << ' ';
+    else
+      OS << C;
+  }
+}
+
+/// Nanoseconds to the fractional-microsecond field the format wants,
+/// without floating point (keeps output bit-stable across libcs).
+void appendMicros(std::ostream &OS, uint64_t Ns) {
+  OS << Ns / 1000 << '.' << char('0' + (Ns / 100) % 10)
+     << char('0' + (Ns / 10) % 10) << char('0' + Ns % 10);
+}
+
+} // namespace
+
+void TraceWriter::write(std::ostream &OS) const {
+  OS << "{\"traceEvents\": [\n";
+  bool First = true;
+  auto Sep = [&] {
+    OS << (First ? "" : ",\n");
+    First = false;
+  };
+
+  // Label one track per recording thread.
+  if (!Snap.Spans.empty()) {
+    uint32_t MaxThread = 0;
+    for (const SpanEvent &E : Snap.Spans)
+      MaxThread = std::max(MaxThread, E.ThreadIndex);
+    for (uint32_t T = 0; T <= MaxThread; ++T) {
+      Sep();
+      OS << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": "
+         << T << ", \"args\": {\"name\": \"pst-worker-" << T << "\"}}";
+    }
+  }
+
+  for (const SpanEvent &E : Snap.Spans) {
+    Sep();
+    OS << "  {\"name\": \"";
+    appendEscaped(OS, E.Name);
+    OS << "\", \"cat\": \"pst\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << E.ThreadIndex << ", \"ts\": ";
+    appendMicros(OS, E.StartNs);
+    OS << ", \"dur\": ";
+    appendMicros(OS, E.DurNs);
+    OS << ", \"args\": {\"depth\": " << E.Depth << "}}";
+  }
+
+  // Counters as one summary instant event so they travel with the trace.
+  if (!Snap.Counters.empty()) {
+    Sep();
+    OS << "  {\"name\": \"pst.counters\", \"cat\": \"pst\", \"ph\": \"i\", "
+          "\"s\": \"g\", \"pid\": 1, \"tid\": 0, \"ts\": 0, \"args\": {";
+    bool FirstArg = true;
+    for (const auto &[N, V] : Snap.Counters) {
+      OS << (FirstArg ? "\"" : ", \"");
+      appendEscaped(OS, N);
+      OS << "\": " << V;
+      FirstArg = false;
+    }
+    OS << "}}";
+  }
+
+  OS << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool TraceWriter::writeFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  write(OS);
+  return OS.good();
+}

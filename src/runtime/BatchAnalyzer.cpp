@@ -6,6 +6,8 @@
 
 #include "pst/runtime/BatchAnalyzer.h"
 
+#include "pst/obs/ScopedTimer.h"
+
 using namespace pst;
 
 FunctionAnalysis pst::analyzeFunction(const Cfg &G, PstScratch &Scratch,
@@ -25,9 +27,17 @@ BatchAnalyzer::BatchAnalyzer(BatchOptions Opts)
 
 std::vector<FunctionAnalysis>
 BatchAnalyzer::analyzeCorpus(std::span<const Cfg> Fns) {
+  PST_SPAN("batch.corpus");
+  PST_COUNTER("batch.corpora", 1);
+  PST_COUNTER("batch.functions", Fns.size());
   std::vector<FunctionAnalysis> Out(Fns.size());
   Pool.run(Fns.size(), Opts.ChunkSize,
            [&](size_t Begin, size_t End, unsigned Worker) {
+             // One span per claimed chunk: in a trace, every worker's track
+             // shows the chunks it won off the shared cursor.
+             PST_SPAN("batch.chunk");
+             PST_COUNTER("batch.chunks", 1);
+             PST_VALUE("batch.chunk_functions", End - Begin);
              PstScratch &S = Scratches[Worker];
              for (size_t I = Begin; I < End; ++I)
                Out[I] = analyzeFunction(Fns[I], S,
@@ -38,9 +48,15 @@ BatchAnalyzer::analyzeCorpus(std::span<const Cfg> Fns) {
 
 std::vector<FunctionAnalysis>
 BatchAnalyzer::analyzeCorpus(std::span<const Cfg *const> Fns) {
+  PST_SPAN("batch.corpus");
+  PST_COUNTER("batch.corpora", 1);
+  PST_COUNTER("batch.functions", Fns.size());
   std::vector<FunctionAnalysis> Out(Fns.size());
   Pool.run(Fns.size(), Opts.ChunkSize,
            [&](size_t Begin, size_t End, unsigned Worker) {
+             PST_SPAN("batch.chunk");
+             PST_COUNTER("batch.chunks", 1);
+             PST_VALUE("batch.chunk_functions", End - Begin);
              PstScratch &S = Scratches[Worker];
              for (size_t I = Begin; I < End; ++I)
                Out[I] = analyzeFunction(*Fns[I], S,

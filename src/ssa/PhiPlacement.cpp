@@ -8,6 +8,7 @@
 
 #include "pst/core/RegionAnalysis.h"
 #include "pst/dom/Dominators.h"
+#include "pst/obs/ScopedTimer.h"
 
 #include <algorithm>
 #include <optional>
@@ -15,6 +16,8 @@
 using namespace pst;
 
 PhiPlacement pst::placePhisClassic(const LoweredFunction &F) {
+  PST_SPAN("ssa.phi_classic");
+  PST_COUNTER("ssa.classic_placements", 1);
   const Cfg &G = F.Graph;
   DomTree DT = DomTree::buildIterative(G);
   DominanceFrontiers DF(G, DT);
@@ -70,6 +73,8 @@ struct RegionSolver {
 
 PhiPlacement pst::placePhisPst(const LoweredFunction &F,
                                const ProgramStructureTree &T) {
+  PST_SPAN("ssa.phi_pst");
+  PST_COUNTER("ssa.pst_placements", 1);
   const Cfg &G = F.Graph;
   uint32_t NumRegions = T.numRegions();
 
@@ -113,6 +118,7 @@ PhiPlacement pst::placePhisPst(const LoweredFunction &F,
     // Figure 10's measure: regions the variable's own assignments force
     // us to examine.
     P.RegionsExamined[V] = static_cast<uint32_t>(Marked.size());
+    PST_COUNTER("ssa.regions_examined", Marked.size());
 
     // The implicit entry definition (same convention as the classic side)
     // additionally marks the root.
