@@ -15,11 +15,13 @@
 
 #include "pst/incremental/IncrementalPst.h"
 #include "pst/obs/Telemetry.h"
+#include "pst/obs/TraceWriter.h"
 #include "pst/workload/CfgGenerators.h"
 
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <string>
 #include <string_view>
 
 using namespace pst;
@@ -158,22 +160,38 @@ BENCHMARK(BM_IncrementalGotoHeavy);
 BENCHMARK(BM_FromScratchGotoHeavy);
 BENCHMARK(BM_IncrementalBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
-// BENCHMARK_MAIN plus a --telemetry flag (stripped before google-benchmark
-// sees the arguments): enables the pst/obs probes for the whole run and
-// prints the per-stage counter/timer dump afterwards, so a bench run shows
-// *where* commit time goes (subtree rebuild vs cycleequiv vs splice).
+// BENCHMARK_MAIN plus two pst/obs flags (both stripped before
+// google-benchmark sees the arguments):
+//   --telemetry        enable the probes; print the counter/timer dump
+//                      afterwards, so a bench run shows *where* commit time
+//                      goes (subtree rebuild vs cycleequiv vs splice).
+//   --trace-out <f>    additionally retain spans and write a chrome-trace
+//                      file; the incremental spans carry a "batch" arg (the
+//                      commit sequence number), so individual edit batches
+//                      can be picked out on the timeline.
 int main(int argc, char **argv) {
   bool WantTelemetry = false;
+  std::string TraceFile;
   int Kept = 1;
   for (int I = 1; I < argc; ++I) {
-    if (std::string_view(argv[I]) == "--telemetry")
+    std::string_view A = argv[I];
+    if (A == "--telemetry") {
       WantTelemetry = true;
-    else
+    } else if (A == "--trace-out") {
+      if (I + 1 >= argc) {
+        std::cerr << "error: --trace-out needs a file argument\n";
+        return 1;
+      }
+      TraceFile = argv[++I];
+    } else {
       argv[Kept++] = argv[I];
+    }
   }
   argc = Kept;
-  if (WantTelemetry)
+  if (WantTelemetry || !TraceFile.empty())
     Telemetry::setEnabled(true);
+  if (!TraceFile.empty())
+    Telemetry::setTraceEnabled(true);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
@@ -181,6 +199,14 @@ int main(int argc, char **argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
+  if (!TraceFile.empty()) {
+    TraceWriter Writer;
+    if (!Writer.writeFile(TraceFile)) {
+      std::cerr << "error: cannot write trace to '" << TraceFile << "'\n";
+      return 1;
+    }
+    std::cout << "wrote chrome trace to " << TraceFile << "\n";
+  }
   if (WantTelemetry)
     std::cout << "\n-- telemetry --\n"
               << TelemetryRegistry::global().toJson();

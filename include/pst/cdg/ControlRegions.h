@@ -87,6 +87,15 @@ struct ControlRegionsScratch {
 ControlRegionsResult computeControlRegionsLinearImplicit(
     const Cfg &G, ControlRegionsScratch &Scratch);
 
+/// CfgView twin of the scratch-backed implicit path: T(S) endpoints are
+/// synthesized arithmetically from the view and the solver's undirected
+/// adjacency is written straight from the shared CSR segments (see
+/// \c computeCycleEquivalenceTs) — no endpoint buffer, no counting pass.
+/// Byte-identical partitions to the \c Cfg overloads on a view of the same
+/// graph.
+ControlRegionsResult computeControlRegionsLinearImplicit(
+    const CfgView &V, ControlRegionsScratch &Scratch);
+
 /// FOW87-style baseline: group nodes by materialized control dependence
 /// sets. O(N * E) time and space in the worst case.
 ControlRegionsResult computeControlRegionsFOW(const Cfg &G);

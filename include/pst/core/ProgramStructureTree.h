@@ -29,7 +29,9 @@
 
 #include "pst/cycleequiv/CycleEquiv.h"
 #include "pst/graph/Cfg.h"
+#include "pst/graph/CfgView.h"
 
+#include <span>
 #include <vector>
 
 namespace pst {
@@ -57,17 +59,24 @@ struct PstBuildScratch {
   // sorted by traversal time.
   std::vector<uint32_t> ClassOff, ClassCursor;
   std::vector<EdgeId> ClassEdges;
+  // Region-entry sequence of the replay DFS (feeds the children CSR) and
+  // the shared scatter cursor for the tree's per-region CSR arrays.
+  std::vector<RegionId> EntrySeq;
+  std::vector<uint32_t> RegionCursor;
 };
 
 /// One canonical SESE region (or the synthetic root).
+///
+/// Deliberately flat (16 bytes, no owned containers): child lists and
+/// immediate-node lists live in tree-level CSR arrays, reachable through
+/// \c ProgramStructureTree::children / \c immediateNodes, so building a
+/// tree costs a fixed number of allocations regardless of region count.
 struct SeseRegion {
   /// Entry/exit edges; InvalidEdge for the synthetic root region.
   EdgeId EntryEdge = InvalidEdge;
   EdgeId ExitEdge = InvalidEdge;
   /// Parent region; InvalidRegion for the root.
   RegionId Parent = InvalidRegion;
-  /// Immediately nested regions, in entry-edge traversal order.
-  std::vector<RegionId> Children;
   /// Nesting depth; the root has depth 0, top-level regions depth 1.
   uint32_t Depth = 0;
 };
@@ -87,6 +96,12 @@ public:
   /// kernel the batch analyzer (pst/runtime) runs per worker thread.
   static ProgramStructureTree build(const Cfg &G, PstBuildScratch &Scratch);
 
+  /// As \c build, over a frozen CSR view of the graph: cycle equivalence
+  /// consumes the shared adjacency directly and both construction DFS
+  /// walks iterate flat succ segments. Bit-identical trees to the \c Cfg
+  /// overloads on a view of the same graph.
+  static ProgramStructureTree build(const CfgView &V, PstBuildScratch &Scratch);
+
   /// As \c build, but with the cycle-equivalence classes already computed
   /// (\p CE must come from a return-edge run on \p G). This is the plumbing
   /// that lets callers owning a re-entrant \c CycleEquivEngine (the
@@ -97,6 +112,11 @@ public:
 
   /// Scratch-backed twin of \c buildWithCycleEquiv.
   static ProgramStructureTree buildWithCycleEquiv(const Cfg &G,
+                                                  CycleEquivResult CE,
+                                                  PstBuildScratch &Scratch);
+
+  /// CfgView twin of the scratch-backed \c buildWithCycleEquiv.
+  static ProgramStructureTree buildWithCycleEquiv(const CfgView &V,
                                                   CycleEquivResult CE,
                                                   PstBuildScratch &Scratch);
 
@@ -122,10 +142,17 @@ public:
   /// Region whose exit edge is \p E, or InvalidRegion.
   RegionId regionExitedBy(EdgeId E) const { return ExitOf[E]; }
 
+  /// Immediately nested regions of \p R, in entry-edge traversal order.
+  /// (A CSR segment of the tree-level child array; stable while the tree
+  /// lives.)
+  std::span<const RegionId> children(RegionId R) const {
+    return {ChildVal.data() + ChildOff[R], ChildVal.data() + ChildOff[R + 1]};
+  }
+
   /// Nodes whose *innermost* region is \p R (i.e. excluding nodes hidden
   /// inside nested regions), in discovery order.
-  const std::vector<NodeId> &immediateNodes(RegionId R) const {
-    return ImmediateNodes[R];
+  std::span<const NodeId> immediateNodes(RegionId R) const {
+    return {ImmVal.data() + ImmOff[R], ImmVal.data() + ImmOff[R + 1]};
   }
 
   /// All nodes contained in \p R, including those of nested regions.
@@ -138,11 +165,23 @@ public:
   const CycleEquivResult &cycleEquiv() const { return CE; }
 
 private:
+  // Shared construction kernel for the Cfg and CfgView overloads; defined
+  // (and only instantiated) in ProgramStructureTree.cpp.
+  template <class GraphT>
+  static ProgramStructureTree buildImpl(const GraphT &G, CycleEquivResult CE,
+                                        PstBuildScratch &S);
+
   std::vector<SeseRegion> Regions;
   std::vector<RegionId> NodeRegion;
   std::vector<RegionId> EdgeRegion;
   std::vector<RegionId> EntryOf, ExitOf;
-  std::vector<std::vector<NodeId>> ImmediateNodes;
+  // Children and immediate nodes as tree-level CSR arrays (region R's
+  // segment is [Off[R], Off[R+1])): two allocations each instead of one
+  // vector per region.
+  std::vector<uint32_t> ChildOff;
+  std::vector<RegionId> ChildVal;
+  std::vector<uint32_t> ImmOff;
+  std::vector<NodeId> ImmVal;
   CycleEquivResult CE;
 };
 

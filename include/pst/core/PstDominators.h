@@ -37,6 +37,11 @@ namespace pst {
 /// exactly the tree of \c DomTree::buildIterative (tested).
 DomTree buildDominatorsViaPst(const Cfg &G, const ProgramStructureTree &T);
 
+/// CfgView twin: region bodies are collapsed straight off the shared CSR
+/// adjacency. Identical trees to the \c Cfg overload on a view of the same
+/// graph.
+DomTree buildDominatorsViaPst(const CfgView &V, const ProgramStructureTree &T);
+
 } // namespace pst
 
 #endif // PST_CORE_PSTDOMINATORS_H

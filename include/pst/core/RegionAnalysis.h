@@ -58,6 +58,11 @@ struct CollapsedBody {
 CollapsedBody collapseRegion(const Cfg &G, const ProgramStructureTree &T,
                              RegionId R);
 
+/// CfgView twin: identical bodies (same quotient node and edge order) on a
+/// view of the same graph.
+CollapsedBody collapseRegion(const CfgView &V, const ProgramStructureTree &T,
+                             RegionId R);
+
 /// Region kinds for Figure 7. Kinds match the paper's buckets; IfThen and
 /// IfThenElse are reported separately and can be merged into the paper's
 /// implicit conditional bucket by callers.

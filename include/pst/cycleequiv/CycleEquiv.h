@@ -29,6 +29,7 @@
 #define PST_CYCLEEQUIV_CYCLEEQUIV_H
 
 #include "pst/graph/Cfg.h"
+#include "pst/graph/CfgView.h"
 
 #include <cassert>
 #include <utility>
@@ -150,6 +151,27 @@ struct CycleEquivScratch {
 CycleEquivResult computeCycleEquivalenceRaw(const UndirectedGraphView &View,
                                             CycleEquivScratch &Scratch);
 
+/// Cycle equivalence over a frozen CSR view of the CFG — the shared-
+/// adjacency fast path. No endpoint list is materialized and no counting
+/// pass runs: the solver's undirected incidence lists are written directly
+/// by merging each node's succ and pred CSR segments (plus the implicit
+/// return edge when \p AddReturnEdge), and edge endpoints are read from
+/// the view's flat arrays. Results are byte-identical to the \c Cfg
+/// overloads on a view of the same graph.
+CycleEquivResult computeCycleEquivalence(const CfgView &V, bool AddReturnEdge,
+                                         CycleEquivScratch &Scratch);
+
+/// Cycle equivalence over the *implicitly* node-expanded graph T(S) of the
+/// paper's control-region construction: node V splits into V_in = 2V and
+/// V_out = 2V+1 joined by representative edge id V; original edge E
+/// becomes id numNodes+E from 2*src(E)+1 to 2*dst(E); the return edge
+/// (id numNodes+numEdges) closes 2*exit+1 -> 2*entry. The expansion is
+/// never materialized — endpoints are computed arithmetically and the
+/// adjacency is written straight from the view's CSR segments. Returns one
+/// class per T(S) edge id; consumed by computeControlRegionsLinearImplicit.
+CycleEquivResult computeCycleEquivalenceTs(const CfgView &V,
+                                           CycleEquivScratch &Scratch);
+
 /// Re-entrant driver for repeated cycle-equivalence runs.
 ///
 /// The algorithm is a pure function, so nothing stops callers from invoking
@@ -163,6 +185,10 @@ CycleEquivResult computeCycleEquivalenceRaw(const UndirectedGraphView &View,
 class CycleEquivEngine {
 public:
   CycleEquivResult run(const Cfg &G, bool AddReturnEdge = true);
+
+  /// Scratch-backed twin of the CfgView overload of
+  /// \c computeCycleEquivalence.
+  CycleEquivResult run(const CfgView &V, bool AddReturnEdge = true);
 
   /// Scratch-backed twin of \c computeCycleEquivalenceRaw.
   CycleEquivResult runRaw(const UndirectedGraphView &View) {

@@ -82,10 +82,20 @@ struct DataflowSolution {
 /// Worklist iteration to the (unique) greatest/least fixed point.
 DataflowSolution solveIterative(const Cfg &G, const BitVectorProblem &P);
 
+/// CfgView twin of \c solveIterative: the RPO sweep reads the shared flat
+/// pred segments. Identical solutions on a view of the same graph.
+DataflowSolution solveIterative(const CfgView &V, const BitVectorProblem &P);
+
 /// PST elimination: bottom-up region summarization, top-down propagation.
 /// Produces the same solution as \c solveIterative for every node on every
 /// gen/kill problem (tested), touching each region body O(1) times.
 DataflowSolution solveElimination(const Cfg &G,
+                                  const ProgramStructureTree &T,
+                                  const BitVectorProblem &P);
+
+/// CfgView twin of \c solveElimination (region bodies collapse straight
+/// off the shared CSR adjacency).
+DataflowSolution solveElimination(const CfgView &V,
                                   const ProgramStructureTree &T,
                                   const BitVectorProblem &P);
 

@@ -54,6 +54,11 @@ struct Qpg {
 Qpg buildQpg(const Cfg &G, const ProgramStructureTree &T,
              const BitVectorProblem &P);
 
+/// CfgView twin of \c buildQpg: identical graphs (same node discovery and
+/// edge order) on a view of the same graph.
+Qpg buildQpg(const CfgView &V, const ProgramStructureTree &T,
+             const BitVectorProblem &P);
+
 /// A dataflow solution expressed per CFG edge (the natural granularity of
 /// QPG projection: the value "flowing along" each edge).
 struct EdgeSolution {
@@ -63,6 +68,10 @@ struct EdgeSolution {
 /// Solves \p P on the QPG and projects the solution back to every CFG
 /// edge. Identical to iterative OUT[source(e)] for every edge e (tested).
 EdgeSolution solveOnQpg(const Cfg &G, const ProgramStructureTree &T,
+                        const BitVectorProblem &P, Qpg *OutQpg = nullptr);
+
+/// CfgView twin of \c solveOnQpg.
+EdgeSolution solveOnQpg(const CfgView &V, const ProgramStructureTree &T,
                         const BitVectorProblem &P, Qpg *OutQpg = nullptr);
 
 /// The per-edge view of a whole-CFG solution (for comparisons).

@@ -26,6 +26,7 @@
 #define PST_DOM_DOMINATORS_H
 
 #include "pst/graph/Cfg.h"
+#include "pst/graph/CfgView.h"
 
 #include <vector>
 
@@ -38,6 +39,11 @@ public:
   /// Cooper-Harvey-Kennedy iterative algorithm.
   static DomTree buildIterative(const Cfg &G);
 
+  /// As \c buildIterative, over a frozen CSR view: RPO and the idom
+  /// fixpoint iterate the shared flat pred segments directly. Bit-identical
+  /// trees to the \c Cfg overload on a view of the same graph.
+  static DomTree buildIterative(const CfgView &V);
+
   /// Builds the dominator tree of \p G rooted at its entry, using the
   /// Lengauer-Tarjan algorithm (the "simple" eval/link variant).
   static DomTree buildLengauerTarjan(const Cfg &G);
@@ -45,6 +51,13 @@ public:
   /// Builds the postdominator tree of \p G (dominators of the reverse graph,
   /// rooted at exit), using the iterative algorithm.
   static DomTree buildPostDom(const Cfg &G);
+
+  /// As \c buildPostDom, over a frozen CSR view. No reversed graph is
+  /// materialized: the iterative algorithm runs on a \c ReversedCfgView
+  /// adapter, whose succ segments are the view's pred segments (same
+  /// ascending edge-id order \c reverseCfg produces), so the tree is
+  /// bit-identical to the \c Cfg overload.
+  static DomTree buildPostDom(const CfgView &V);
 
   /// Wraps an externally computed immediate-dominator array (e.g. from the
   /// PST divide-and-conquer builder); \p Idom[Root] must be InvalidNode.
@@ -82,6 +95,10 @@ public:
 private:
   void finalize(); // Builds Kids/In/Out/Depth from Idom.
 
+  // Shared iterative kernel for the Cfg, CfgView and ReversedCfgView
+  // overloads; defined (and only instantiated) in Dominators.cpp.
+  template <class GraphT> static DomTree buildIterativeImpl(const GraphT &G);
+
   NodeId Root = InvalidNode;
   std::vector<NodeId> Idom;
   std::vector<std::vector<NodeId>> Kids;
@@ -97,6 +114,10 @@ public:
   /// been built for \p G).
   DominanceFrontiers(const Cfg &G, const DomTree &DT);
 
+  /// CfgView twin: walks the shared flat pred segments. Identical
+  /// frontiers to the \c Cfg overload on a view of the same graph.
+  DominanceFrontiers(const CfgView &V, const DomTree &DT);
+
   /// The frontier of \p N, sorted ascending, without duplicates.
   const std::vector<NodeId> &frontier(NodeId N) const { return DF[N]; }
 
@@ -104,6 +125,8 @@ public:
   std::vector<NodeId> iterated(const std::vector<NodeId> &Defs) const;
 
 private:
+  template <class GraphT> void init(const GraphT &G, const DomTree &DT);
+
   std::vector<std::vector<NodeId>> DF;
 };
 

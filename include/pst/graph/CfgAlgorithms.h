@@ -15,6 +15,7 @@
 #define PST_GRAPH_CFGALGORITHMS_H
 
 #include "pst/graph/Cfg.h"
+#include "pst/graph/CfgView.h"
 
 #include <string>
 #include <vector>
@@ -37,6 +38,11 @@ struct DfsResult {
 /// Runs an iterative DFS over the directed graph from \p Root, following
 /// successor edges in order. Deterministic given the graph.
 DfsResult depthFirstSearch(const Cfg &G, NodeId Root);
+/// Same traversal over a frozen CSR view; identical output for a view of
+/// the same graph.
+DfsResult depthFirstSearch(const CfgView &G, NodeId Root);
+/// Same traversal over a reversed view (follows pred CSR segments).
+DfsResult depthFirstSearch(const ReversedCfgView &G, NodeId Root);
 
 /// Returns the nodes reachable from \p Root following successor edges.
 std::vector<bool> reachableFrom(const Cfg &G, NodeId Root);
@@ -51,6 +57,9 @@ bool existsPathBetween(const Cfg &G, NodeId From, NodeId To);
 /// iteration order for forward dataflow and dominators). Unreached nodes are
 /// absent.
 std::vector<NodeId> reversePostOrder(const Cfg &G);
+/// CSR-view variants (identical orders for views of the same graph).
+std::vector<NodeId> reversePostOrder(const CfgView &G);
+std::vector<NodeId> reversePostOrder(const ReversedCfgView &G);
 
 /// Checks the Definition-1 invariants:
 ///  * entry and exit are set and distinct,

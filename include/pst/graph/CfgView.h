@@ -1,0 +1,164 @@
+//===- pst/graph/CfgView.h - Frozen CSR adjacency snapshot ------*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An immutable compressed-sparse-row snapshot of a \c Cfg, built once per
+/// function and shared by every stage of the analysis pipeline.
+///
+/// \c Cfg stores adjacency as per-node \c std::vector succ/pred lists: good
+/// for construction, bad for the traversal-heavy analyses, which each ended
+/// up either rebuilding a private CSR (cycle equivalence) or pointer-chasing
+/// through node objects (dominators, dataflow). \c CfgView freezes the graph
+/// into six flat arrays:
+///
+///   SuccOff[N+1] / SuccEdge[E] / SuccTo[E]    outgoing CSR
+///   PredOff[N+1] / PredEdge[E] / PredFrom[E]  incoming CSR
+///   EdgeSrc[E]   / EdgeDst[E]                 edge endpoints (SoA)
+///
+/// Segment [SuccOff[V], SuccOff[V+1]) of SuccEdge holds V's outgoing edge
+/// ids *in increasing id order* — identical to \c Cfg::succEdges order,
+/// because \c Cfg only ever appends edges — and SuccTo holds the matching
+/// targets so traversals touch one cache line stream instead of hopping
+/// through the central edge table. Same for the incoming side. Analyses that
+/// iterate a reversed graph read the Pred arrays directly instead of
+/// materializing a reversed \c Cfg.
+///
+/// The view is non-owning: all storage lives in a caller-provided
+/// \c CfgViewScratch, so a worker thread reuses one warm scratch across a
+/// whole corpus and steady-state view construction performs no heap
+/// allocations. The view is invalidated by touching the scratch or the
+/// source graph.
+///
+/// \c CfgView deliberately mirrors the read API of \c Cfg (numNodes,
+/// entry, source, succEdges, ...) so analysis implementations can be written
+/// once as templates over the graph type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_GRAPH_CFGVIEW_H
+#define PST_GRAPH_CFGVIEW_H
+
+#include "pst/graph/Cfg.h"
+
+#include <span>
+#include <vector>
+
+namespace pst {
+
+/// Caller-owned backing storage for a \c CfgView. Reusable: buffers grow to
+/// the largest graph seen and stay warm. Holds no pointers into any graph.
+struct CfgViewScratch {
+  /// CSR offsets, sized numNodes+2: one leading slot is used as a scatter
+  /// cursor during construction so no separate cursor array is needed. The
+  /// view exposes the first numNodes+1 entries.
+  std::vector<uint32_t> SuccOff;
+  std::vector<uint32_t> PredOff;
+  std::vector<EdgeId> SuccEdge; ///< Outgoing edge ids, per-node ascending.
+  std::vector<NodeId> SuccTo;   ///< Target of SuccEdge[i].
+  std::vector<EdgeId> PredEdge; ///< Incoming edge ids, per-node ascending.
+  std::vector<NodeId> PredFrom; ///< Source of PredEdge[i].
+  std::vector<NodeId> EdgeSrc;  ///< Edge id -> source node.
+  std::vector<NodeId> EdgeDst;  ///< Edge id -> target node.
+};
+
+/// A frozen, non-owning CSR adjacency snapshot of one \c Cfg.
+///
+/// Cheap to copy (a handful of pointers). Valid only while the scratch it
+/// was built into (and the entry/exit ids of the source graph) stay
+/// untouched.
+class CfgView {
+public:
+  CfgView() = default;
+
+  /// Snapshots \p G into \p S and returns the view. Two passes over the
+  /// edge table: a counting pass (degrees + prefix sums) and a scatter
+  /// pass. Per-node edge order matches \c Cfg::succEdges/predEdges exactly.
+  /// O(N + E); allocation-free once \p S is warm.
+  static CfgView build(const Cfg &G, CfgViewScratch &S);
+
+  uint32_t numNodes() const { return N; }
+  uint32_t numEdges() const { return E; }
+  NodeId entry() const { return EntryNode; }
+  NodeId exit() const { return ExitNode; }
+
+  NodeId source(EdgeId Id) const { return EdgeSrcP[Id]; }
+  NodeId target(EdgeId Id) const { return EdgeDstP[Id]; }
+
+  uint32_t outDegree(NodeId V) const { return SuccOffP[V + 1] - SuccOffP[V]; }
+  uint32_t inDegree(NodeId V) const { return PredOffP[V + 1] - PredOffP[V]; }
+
+  /// Outgoing edge ids of \p V in insertion (ascending id) order.
+  std::span<const EdgeId> succEdges(NodeId V) const {
+    return {SuccEdgeP + SuccOffP[V], SuccEdgeP + SuccOffP[V + 1]};
+  }
+  /// Incoming edge ids of \p V in insertion (ascending id) order.
+  std::span<const EdgeId> predEdges(NodeId V) const {
+    return {PredEdgeP + PredOffP[V], PredEdgeP + PredOffP[V + 1]};
+  }
+  /// Successor nodes of \p V, parallel to \c succEdges.
+  std::span<const NodeId> succNodes(NodeId V) const {
+    return {SuccToP + SuccOffP[V], SuccToP + SuccOffP[V + 1]};
+  }
+  /// Predecessor nodes of \p V, parallel to \c predEdges.
+  std::span<const NodeId> predNodes(NodeId V) const {
+    return {PredFromP + PredOffP[V], PredFromP + PredOffP[V + 1]};
+  }
+
+  /// Raw arrays, for stages that want to index directly.
+  const uint32_t *succOff() const { return SuccOffP; }
+  const uint32_t *predOff() const { return PredOffP; }
+  const EdgeId *succEdge() const { return SuccEdgeP; }
+  const NodeId *succTo() const { return SuccToP; }
+  const EdgeId *predEdge() const { return PredEdgeP; }
+  const NodeId *predFrom() const { return PredFromP; }
+  const NodeId *edgeSrc() const { return EdgeSrcP; }
+  const NodeId *edgeDst() const { return EdgeDstP; }
+
+private:
+  uint32_t N = 0;
+  uint32_t E = 0;
+  NodeId EntryNode = InvalidNode;
+  NodeId ExitNode = InvalidNode;
+  const uint32_t *SuccOffP = nullptr;
+  const uint32_t *PredOffP = nullptr;
+  const EdgeId *SuccEdgeP = nullptr;
+  const NodeId *SuccToP = nullptr;
+  const EdgeId *PredEdgeP = nullptr;
+  const NodeId *PredFromP = nullptr;
+  const NodeId *EdgeSrcP = nullptr;
+  const NodeId *EdgeDstP = nullptr;
+};
+
+/// \c CfgView with every edge reversed, entry/exit swapped — the flat-array
+/// replacement for materializing \c reverseCfg(G). Edge ids are preserved.
+/// Because both CSR sides keep per-node lists in ascending edge-id order,
+/// iterating this adapter's succEdges visits exactly the edges (and order)
+/// that \c reverseCfg's succ lists would hold, so DFS-derived structures
+/// (postdominators in particular) are bit-identical to the legacy path.
+class ReversedCfgView {
+public:
+  explicit ReversedCfgView(const CfgView &View) : V(View) {}
+
+  uint32_t numNodes() const { return V.numNodes(); }
+  uint32_t numEdges() const { return V.numEdges(); }
+  NodeId entry() const { return V.exit(); }
+  NodeId exit() const { return V.entry(); }
+  NodeId source(EdgeId Id) const { return V.target(Id); }
+  NodeId target(EdgeId Id) const { return V.source(Id); }
+  std::span<const EdgeId> succEdges(NodeId N) const { return V.predEdges(N); }
+  std::span<const EdgeId> predEdges(NodeId N) const { return V.succEdges(N); }
+  std::span<const NodeId> succNodes(NodeId N) const { return V.predNodes(N); }
+  std::span<const NodeId> predNodes(NodeId N) const { return V.succNodes(N); }
+
+private:
+  CfgView V; // By value: a view is a handful of pointers.
+};
+
+} // namespace pst
+
+#endif // PST_GRAPH_CFGVIEW_H

@@ -37,8 +37,10 @@ namespace obs_detail {
 /// Pushes a frame on the calling thread's span stack; returns the start
 /// timestamp (ns since the registry epoch).
 uint64_t spanBegin(const char *Name);
-/// Pops the frame and records the completed span.
-void spanEnd(const char *Name, uint64_t StartNs);
+/// Pops the frame and records the completed span. A non-null \p ArgName
+/// attaches (ArgName, ArgValue) to the retained SpanEvent.
+void spanEnd(const char *Name, uint64_t StartNs,
+             const char *ArgName = nullptr, uint64_t ArgValue = 0);
 } // namespace obs_detail
 
 /// One RAII span. \p Name must be a string literal (or outlive the
@@ -51,12 +53,23 @@ public:
       StartNs = obs_detail::spanBegin(this->Name);
   }
 
+  /// As above, attaching (\p ArgName, \p ArgValue) to the retained span
+  /// (both must be string literals / outlive the program; the value is
+  /// read at destruction). Used to correlate trace spans with logical
+  /// work units, e.g. the incremental engine's commit batch ids.
+  ScopedTimer(const char *Name, const char *ArgName, uint64_t ArgValue)
+      : Name(Telemetry::enabled() ? Name : nullptr), ArgName(ArgName),
+        ArgValue(ArgValue) {
+    if (this->Name)
+      StartNs = obs_detail::spanBegin(this->Name);
+  }
+
   ScopedTimer(const ScopedTimer &) = delete;
   ScopedTimer &operator=(const ScopedTimer &) = delete;
 
   ~ScopedTimer() {
     if (Name)
-      obs_detail::spanEnd(Name, StartNs);
+      obs_detail::spanEnd(Name, StartNs, ArgName, ArgValue);
   }
 
 private:
@@ -64,6 +77,8 @@ private:
   /// inert even if telemetry is enabled mid-extent, keeping the stack
   /// balanced).
   const char *Name;
+  const char *ArgName = nullptr;
+  uint64_t ArgValue = 0;
   uint64_t StartNs = 0;
 };
 
@@ -78,8 +93,15 @@ private:
 #define PST_OBS_CONCAT(A, B) PST_OBS_CONCAT_IMPL(A, B)
 #define PST_SPAN(Name)                                                       \
   ::pst::ScopedTimer PST_OBS_CONCAT(PstObsSpan_, __LINE__) { Name }
+/// PST_SPAN_ARG(Name, ArgName, ArgValue): as PST_SPAN, tagging the span
+/// with one named integer argument in the exported trace.
+#define PST_SPAN_ARG(Name, ArgName, ArgValue)                                \
+  ::pst::ScopedTimer PST_OBS_CONCAT(PstObsSpan_, __LINE__) {                 \
+    Name, ArgName, static_cast<uint64_t>(ArgValue)                           \
+  }
 #else
 #define PST_SPAN(Name) static_cast<void>(0)
+#define PST_SPAN_ARG(Name, ArgName, ArgValue) static_cast<void>(0)
 #endif
 
 #endif // PST_OBS_SCOPEDTIMER_H

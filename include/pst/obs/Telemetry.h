@@ -125,6 +125,12 @@ struct SpanEvent {
   /// Start offset from the registry epoch, and duration, in nanoseconds.
   uint64_t StartNs = 0;
   uint64_t DurNs = 0;
+  /// Optional span argument (e.g. "batch" = commit sequence number on the
+  /// incremental spans), exported into the trace event's args object. Null
+  /// ArgName means no argument; the fields trail with defaults so existing
+  /// aggregate initializers keep meaning what they meant.
+  const char *ArgName = nullptr;
+  uint64_t ArgValue = 0;
 };
 
 /// A merged, point-in-time view of everything recorded so far. Maps are

@@ -33,11 +33,16 @@
 
 #include "pst/cdg/ControlRegions.h"
 #include "pst/core/ProgramStructureTree.h"
+#include "pst/graph/CfgView.h"
 
 namespace pst {
 
 /// Working memory for one worker's serial analysis pipeline.
 struct PstScratch {
+  /// The per-function frozen CSR adjacency. \c analyzeFunction builds one
+  /// \c CfgView here and every pipeline stage reads it; no stage rebuilds
+  /// its own adjacency.
+  CfgViewScratch View;
   /// PST construction (embeds the cycle-equivalence engine).
   PstBuildScratch PstBuild;
   /// Control regions over the implicitly node-expanded graph T(S); kept

@@ -104,6 +104,31 @@ ControlRegionsResult pst::computeControlRegionsLinearImplicit(
   return R;
 }
 
+ControlRegionsResult pst::computeControlRegionsLinearImplicit(
+    const CfgView &V, ControlRegionsScratch &S) {
+  PST_SPAN("cdg.control_regions");
+  // Same implicit T(S) run, but over the frozen CSR view: no endpoint
+  // buffer is filled — the solver reads adjacency straight from the
+  // view's succ/pred segments and synthesizes endpoints arithmetically.
+  uint32_t N = V.numNodes();
+  CycleEquivResult CE = computeCycleEquivalenceTs(V, S.Solver);
+
+  ControlRegionsResult R;
+  R.NodeClass.resize(N);
+  S.Remap.assign(CE.NumClasses, UINT32_MAX);
+  uint32_t Next = 0;
+  for (NodeId W = 0; W < N; ++W) {
+    uint32_t C = CE.classOf(W); // Representative edge of W has EdgeId W.
+    if (S.Remap[C] == UINT32_MAX)
+      S.Remap[C] = Next++;
+    R.NodeClass[W] = S.Remap[C];
+  }
+  R.NumClasses = Next;
+  PST_COUNTER("cdg.runs", 1);
+  PST_COUNTER("cdg.classes", R.NumClasses);
+  return R;
+}
+
 ControlRegionsResult pst::computeControlRegionsFOW(const Cfg &G) {
   ControlDependence CD(G);
   // Group nodes by their full dependence set. A std::map keyed by the

@@ -27,15 +27,27 @@ ProgramStructureTree ProgramStructureTree::build(const Cfg &G,
                              Scratch);
 }
 
+ProgramStructureTree ProgramStructureTree::build(const CfgView &V,
+                                                 PstBuildScratch &Scratch) {
+  PST_SPAN("pst.build");
+  return buildWithCycleEquiv(V, Scratch.CE.run(V, /*AddReturnEdge=*/true),
+                             Scratch);
+}
+
 ProgramStructureTree
 ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE) {
   PstBuildScratch Scratch;
   return buildWithCycleEquiv(G, std::move(CE), Scratch);
 }
 
-ProgramStructureTree
-ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE,
-                                          PstBuildScratch &S) {
+// The construction proper, shared between the Cfg and CfgView overloads:
+// both expose numNodes/numEdges/entry/succEdges/target, and the template
+// guarantees the two paths traverse edges in the same order, which is what
+// makes their trees bit-identical.
+template <class GraphT>
+ProgramStructureTree ProgramStructureTree::buildImpl(const GraphT &G,
+                                                     CycleEquivResult CE,
+                                                     PstBuildScratch &S) {
   // Region pairing + nesting only; the cycle-equivalence span nests under
   // pst.build when the caller came through build().
   PST_SPAN("pst.construct");
@@ -84,6 +96,14 @@ ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE,
     assert(S.EdgeTime[E] != UINT32_MAX && "edge unreachable; CFG is invalid");
     ++S.ClassOff[T.CE.classOf(E) + 1];
   }
+  // The class sizes fix the region count exactly (one region per
+  // consecutive same-class pair, plus the synthetic root), so the region
+  // table can be reserved to size: no doubling-growth reallocations.
+  uint32_t NumRegions = 1;
+  for (uint32_t C = 0; C < NumClasses; ++C)
+    if (uint32_t Size = S.ClassOff[C + 1]; Size >= 2)
+      NumRegions += Size - 1;
+  T.Regions.reserve(NumRegions);
   for (uint32_t C = 0; C < NumClasses; ++C)
     S.ClassOff[C + 1] += S.ClassOff[C];
   S.ClassCursor.assign(S.ClassOff.begin(), S.ClassOff.end() - 1);
@@ -114,14 +134,19 @@ ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE,
       T.ExitOf[I[1]] = R;
     }
   }
+  assert(T.Regions.size() == NumRegions && "region count mismatch");
 
   // -- Pass 3: replay the same DFS, assigning every traversed edge and
   // every discovered node its innermost region, and wiring up parents.
   // Exiting a region pops to that region's parent (already known: the
   // entry edge dominates the exit edge, so it was traversed first);
-  // entering a region records the current region as its parent.
+  // entering a region records the current region as its parent. The
+  // sequence of entered regions is kept: its per-parent subsequences are
+  // chronological, which is exactly the child order the tree exposes.
   T.NodeRegion.assign(G.numNodes(), T.root());
   T.EdgeRegion.assign(NumE, T.root());
+  S.EntrySeq.clear();
+  S.EntrySeq.reserve(NumRegions - 1);
   {
     S.Visited.assign(G.numNodes(), 0);
     S.Stack.clear();
@@ -141,8 +166,8 @@ ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE,
         Cur = T.Regions[Exited].Parent;
       if (RegionId Entered = T.EntryOf[E]; Entered != InvalidRegion) {
         T.Regions[Entered].Parent = Cur;
-        T.Regions[Cur].Children.push_back(Entered);
         T.Regions[Entered].Depth = T.Regions[Cur].Depth + 1;
+        S.EntrySeq.push_back(Entered);
         Cur = Entered;
       }
       T.EdgeRegion[E] = Cur;
@@ -155,13 +180,46 @@ ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE,
     }
   }
 
-  T.ImmediateNodes.assign(T.Regions.size(), {});
+  // Children CSR: counting pass over the entry sequence, scatter in entry
+  // order (preserves per-parent chronological order).
+  T.ChildOff.assign(NumRegions + 1, 0);
+  for (RegionId R : S.EntrySeq)
+    ++T.ChildOff[T.Regions[R].Parent + 1];
+  for (size_t I = 1; I < T.ChildOff.size(); ++I)
+    T.ChildOff[I] += T.ChildOff[I - 1];
+  S.RegionCursor.assign(T.ChildOff.begin(), T.ChildOff.end() - 1);
+  T.ChildVal.resize(S.EntrySeq.size());
+  for (RegionId R : S.EntrySeq)
+    T.ChildVal[S.RegionCursor[T.Regions[R].Parent]++] = R;
+
+  // Immediate-node CSR: counting pass over NodeRegion, scatter in node-id
+  // order (the discovery order the per-region vectors used to get).
+  T.ImmOff.assign(NumRegions + 1, 0);
   for (NodeId N = 0; N < G.numNodes(); ++N)
-    T.ImmediateNodes[T.NodeRegion[N]].push_back(N);
+    ++T.ImmOff[T.NodeRegion[N] + 1];
+  for (size_t I = 1; I < T.ImmOff.size(); ++I)
+    T.ImmOff[I] += T.ImmOff[I - 1];
+  S.RegionCursor.assign(T.ImmOff.begin(), T.ImmOff.end() - 1);
+  T.ImmVal.resize(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    T.ImmVal[S.RegionCursor[T.NodeRegion[N]]++] = N;
+
   PST_COUNTER("pst.builds", 1);
   PST_COUNTER("pst.canonical_regions", T.numCanonicalRegions());
   PST_VALUE("pst.regions_per_build", T.numCanonicalRegions());
   return T;
+}
+
+ProgramStructureTree
+ProgramStructureTree::buildWithCycleEquiv(const Cfg &G, CycleEquivResult CE,
+                                          PstBuildScratch &S) {
+  return buildImpl(G, std::move(CE), S);
+}
+
+ProgramStructureTree
+ProgramStructureTree::buildWithCycleEquiv(const CfgView &V, CycleEquivResult CE,
+                                          PstBuildScratch &S) {
+  return buildImpl(V, std::move(CE), S);
 }
 
 std::vector<NodeId> ProgramStructureTree::allNodes(RegionId R) const {
@@ -170,9 +228,9 @@ std::vector<NodeId> ProgramStructureTree::allNodes(RegionId R) const {
   while (!Work.empty()) {
     RegionId Cur = Work.back();
     Work.pop_back();
-    const auto &Imm = ImmediateNodes[Cur];
+    auto Imm = immediateNodes(Cur);
     Out.insert(Out.end(), Imm.begin(), Imm.end());
-    for (RegionId C : Regions[Cur].Children)
+    for (RegionId C : children(Cur))
       Work.push_back(C);
   }
   std::sort(Out.begin(), Out.end());

@@ -12,8 +12,11 @@
 
 using namespace pst;
 
-DomTree pst::buildDominatorsViaPst(const Cfg &G,
-                                   const ProgramStructureTree &T) {
+namespace {
+
+template <class GraphT>
+DomTree buildDominatorsViaPstImpl(const GraphT &G,
+                                  const ProgramStructureTree &T) {
   std::vector<NodeId> Idom(G.numNodes(), InvalidNode);
 
   for (RegionId R = 0; R < T.numRegions(); ++R) {
@@ -60,4 +63,16 @@ DomTree pst::buildDominatorsViaPst(const Cfg &G,
   }
 
   return DomTree::fromIdom(G.entry(), std::move(Idom));
+}
+
+} // namespace
+
+DomTree pst::buildDominatorsViaPst(const Cfg &G,
+                                   const ProgramStructureTree &T) {
+  return buildDominatorsViaPstImpl(G, T);
+}
+
+DomTree pst::buildDominatorsViaPst(const CfgView &V,
+                                   const ProgramStructureTree &T) {
+  return buildDominatorsViaPstImpl(V, T);
 }

@@ -30,8 +30,14 @@ static RegionId liftToChild(const ProgramStructureTree &T, RegionId R,
   return InvalidRegion;
 }
 
-CollapsedBody pst::collapseRegion(const Cfg &G, const ProgramStructureTree &T,
-                                  RegionId R) {
+namespace {
+
+/// Shared kernel of the Cfg and CfgView collapseRegion overloads; both
+/// traverse the same edge lists in the same order, so the quotient bodies
+/// come out identical.
+template <class GraphT>
+CollapsedBody collapseRegionImpl(const GraphT &G,
+                                 const ProgramStructureTree &T, RegionId R) {
   CollapsedBody B;
   std::unordered_map<uint64_t, uint32_t> QIndex; // Keyed below.
   auto NodeKey = [](NodeId N) { return uint64_t(N); };
@@ -51,7 +57,7 @@ CollapsedBody pst::collapseRegion(const Cfg &G, const ProgramStructureTree &T,
   // Immediate nodes first (stable order), then child regions.
   for (NodeId N : T.immediateNodes(R))
     GetQ(NodeKey(N), false, N, InvalidRegion);
-  for (RegionId C : T.region(R).Children)
+  for (RegionId C : T.children(R))
     GetQ(RegionKey(C), true, InvalidNode, C);
 
   auto MapNode = [&](NodeId N) -> uint32_t {
@@ -79,7 +85,7 @@ CollapsedBody pst::collapseRegion(const Cfg &G, const ProgramStructureTree &T,
   };
   for (NodeId N : T.immediateNodes(R))
     CollectEdgesOf(N);
-  for (RegionId C : T.region(R).Children) {
+  for (RegionId C : T.children(R)) {
     // Only the child's exit-side boundary node can start edges that leave
     // the collapsed child: its exit edge. Other internal edges were
     // skipped above; we must still scan the child's nodes for edges that
@@ -102,6 +108,18 @@ CollapsedBody pst::collapseRegion(const Cfg &G, const ProgramStructureTree &T,
     B.ExitQ = MapNode(G.source(T.region(R).ExitEdge));
   }
   return B;
+}
+
+} // namespace
+
+CollapsedBody pst::collapseRegion(const Cfg &G, const ProgramStructureTree &T,
+                                  RegionId R) {
+  return collapseRegionImpl(G, T, R);
+}
+
+CollapsedBody pst::collapseRegion(const CfgView &V,
+                                  const ProgramStructureTree &T, RegionId R) {
+  return collapseRegionImpl(V, T, R);
 }
 
 const char *pst::regionKindName(RegionKind K) {
@@ -229,7 +247,7 @@ RegionKind pst::classifyRegion(const Cfg &G, const ProgramStructureTree &T,
 }
 
 uint32_t pst::regionWeight(const ProgramStructureTree &T, RegionId R) {
-  uint32_t K = static_cast<uint32_t>(T.region(R).Children.size());
+  uint32_t K = static_cast<uint32_t>(T.children(R).size());
   return K == 0 ? 1 : K;
 }
 
@@ -256,7 +274,7 @@ std::string pst::formatPst(const Cfg &G, const ProgramStructureTree &T) {
     for (NodeId N : T.immediateNodes(R))
       OS << ' ' << G.nodeName(N);
     OS << "]\n";
-    const auto &Kids = T.region(R).Children;
+    const auto Kids = T.children(R);
     for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
       Stack.emplace_back(*It, Indent + 1);
   }

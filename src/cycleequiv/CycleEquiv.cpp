@@ -19,6 +19,14 @@
 //    tiny procedures (the paper's Table 1 median), where per-node
 //    std::vector buckets cost more in allocator traffic than the algorithm
 //    itself; with the scratch warm, a run allocates nothing but its result.
+//  * The solver is a template over an *endpoint policy*, so the same
+//    Figure-4 sweep serves three graph encodings with zero duplication:
+//    materialized endpoint pairs (UndirectedGraphView), a frozen CfgView
+//    CSR plus the implicit return edge, and the arithmetic node expansion
+//    T(S) of the control-region construction. The CfgView encodings also
+//    pre-build the undirected adjacency straight from the shared CSR
+//    segments (each node's incident edges are the ascending-id merge of
+//    its succ and pred segments), skipping the counting passes entirely.
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +43,58 @@ namespace {
 
 constexpr uint32_t None = ~uint32_t(0);
 
+// -- Endpoint policies -----------------------------------------------------
+// The solver only ever asks one question about the graph beyond its
+// adjacency: "what are the two endpoints of undirected edge E". Each policy
+// answers it for one encoding; all are a couple of loads (or pure
+// arithmetic), so the template keeps the inner loops branch-predictable
+// without virtual dispatch.
+
+/// Materialized endpoint pairs (the legacy UndirectedGraphView path).
+struct PairEndpoints {
+  const std::pair<NodeId, NodeId> *P;
+  NodeId a(uint32_t E) const { return P[E].first; }
+  NodeId b(uint32_t E) const { return P[E].second; }
+};
+
+/// CFG edges from a CfgView's flat endpoint arrays, plus the implicit
+/// trailing return edge (id == NumCfgEdges).
+struct ViewEndpoints {
+  const NodeId *Src;
+  const NodeId *Dst;
+  uint32_t NumCfgEdges;
+  NodeId RetSrc, RetDst;
+  NodeId a(uint32_t E) const { return E < NumCfgEdges ? Src[E] : RetSrc; }
+  NodeId b(uint32_t E) const { return E < NumCfgEdges ? Dst[E] : RetDst; }
+};
+
+/// The implicitly node-expanded graph T(S) of the control-region
+/// construction: node V splits into V_in = 2V / V_out = 2V+1 joined by
+/// representative edge id V; original edge E becomes id N+E from
+/// 2*src(E)+1 to 2*dst(E); the return edge id N+NumCfgEdges closes
+/// 2*exit+1 -> 2*entry. Endpoints are pure arithmetic over the view.
+struct TsEndpoints {
+  const NodeId *Src;
+  const NodeId *Dst;
+  uint32_t N;
+  uint32_t NumCfgEdges;
+  NodeId Entry, Exit;
+  NodeId a(uint32_t X) const {
+    if (X < N)
+      return 2 * X;
+    if (X < N + NumCfgEdges)
+      return 2 * Src[X - N] + 1;
+    return 2 * Exit + 1;
+  }
+  NodeId b(uint32_t X) const {
+    if (X < N)
+      return 2 * X + 1;
+    if (X < N + NumCfgEdges)
+      return 2 * Dst[X - N];
+    return 2 * Entry;
+  }
+};
+
 /// The Figure-4 solver, operating entirely on arrays owned by a
 /// CycleEquivScratch.
 ///
@@ -46,13 +106,18 @@ constexpr uint32_t None = ~uint32_t(0);
 /// are >= 1), and the arena cell currently holding it in some bracket list.
 /// Bracket lists are doubly-linked cells (\c Cell* arrays) with one
 /// head/tail/size triple per node (\c List* arrays).
-class CycleEquivSolver {
+template <class EndpointsT> class CycleEquivSolver {
 public:
-  CycleEquivSolver(const UndirectedGraphView &View, CycleEquivScratch &S)
-      : View(View), S(S),
-        NumRealEdges(static_cast<uint32_t>(View.Endpoints.size())) {}
+  CycleEquivSolver(uint32_t NumNodes, NodeId Root, uint32_t NumRealEdges,
+                   EndpointsT Ep, CycleEquivScratch &S)
+      : Nodes(NumNodes), Root(Root), S(S), NumRealEdges(NumRealEdges),
+        Ep(Ep) {}
 
-  CycleEquivResult run();
+  /// Runs the algorithm. When \p AdjacencyPrebuilt is set the caller has
+  /// already written S.AdjOff/AdjEdge/AdjOther and S.SelfLoops (the
+  /// CfgView paths do, straight from the shared CSR); otherwise the
+  /// adjacency is built here from the endpoint policy via counting passes.
+  CycleEquivResult run(bool AdjacencyPrebuilt);
 
 private:
   // -- Bracket list primitives (all O(1)) --------------------------------
@@ -124,21 +189,24 @@ private:
 
   // -- Phases -------------------------------------------------------------
   void buildAdjacency();
-  void undirectedDfs(NodeId Root);
+  void undirectedDfs(NodeId DfsRoot);
   void classifyEdges();
   void processNodes();
 
-  NodeId endpointA(uint32_t E) const { return View.Endpoints[E].first; }
-  NodeId endpointB(uint32_t E) const { return View.Endpoints[E].second; }
-  uint32_t numNodes() const { return View.NumNodes; }
+  NodeId endpointA(uint32_t E) const { return Ep.a(E); }
+  NodeId endpointB(uint32_t E) const { return Ep.b(E); }
+  uint32_t numNodes() const { return Nodes; }
 
-  const UndirectedGraphView &View;
+  uint32_t Nodes;
+  NodeId Root;
   CycleEquivScratch &S;
   uint32_t NumRealEdges;
+  EndpointsT Ep;
   uint32_t NextClass = 0;
 };
 
-void CycleEquivSolver::buildAdjacency() {
+template <class EndpointsT>
+void CycleEquivSolver<EndpointsT>::buildAdjacency() {
   uint32_t N = numNodes();
   S.SelfLoops.clear();
   S.AdjOff.assign(N + 1, 0);
@@ -168,7 +236,8 @@ void CycleEquivSolver::buildAdjacency() {
   }
 }
 
-void CycleEquivSolver::undirectedDfs(NodeId Root) {
+template <class EndpointsT>
+void CycleEquivSolver<EndpointsT>::undirectedDfs(NodeId DfsRoot) {
   uint32_t N = numNodes();
   S.DfsNum.assign(N, None);
   S.ParentEdge.assign(N, None);
@@ -177,9 +246,9 @@ void CycleEquivSolver::undirectedDfs(NodeId Root) {
   S.Order.reserve(N);
   S.Stack.clear();
 
-  S.DfsNum[Root] = 0;
-  S.Order.push_back(Root);
-  S.Stack.emplace_back(Root, S.AdjOff[Root]);
+  S.DfsNum[DfsRoot] = 0;
+  S.Order.push_back(DfsRoot);
+  S.Stack.emplace_back(DfsRoot, S.AdjOff[DfsRoot]);
   while (!S.Stack.empty()) {
     auto &[V, Next] = S.Stack.back();
     if (Next == S.AdjOff[V + 1]) {
@@ -221,7 +290,8 @@ void CycleEquivSolver::undirectedDfs(NodeId Root) {
   }
 }
 
-void CycleEquivSolver::classifyEdges() {
+template <class EndpointsT>
+void CycleEquivSolver<EndpointsT>::classifyEdges() {
   uint32_t N = numNodes();
   // Backedge incidence as two CSR arrays: by descendant endpoint (push
   // site) and by ancestor endpoint (delete site). Two counting passes over
@@ -261,7 +331,8 @@ void CycleEquivSolver::classifyEdges() {
   });
 }
 
-void CycleEquivSolver::processNodes() {
+template <class EndpointsT>
+void CycleEquivSolver<EndpointsT>::processNodes() {
   uint32_t N = numNodes();
   constexpr uint32_t Inf = std::numeric_limits<uint32_t>::max();
   S.Hi.assign(N, Inf);
@@ -377,7 +448,8 @@ void CycleEquivSolver::processNodes() {
   }
 }
 
-CycleEquivResult CycleEquivSolver::run() {
+template <class EndpointsT>
+CycleEquivResult CycleEquivSolver<EndpointsT>::run(bool AdjacencyPrebuilt) {
   PST_SPAN("cycleequiv.run");
   CycleEquivResult R;
   if (numNodes() == 0) {
@@ -389,8 +461,9 @@ CycleEquivResult CycleEquivSolver::run() {
     // The undirected DFS phase: adjacency CSR, the DFS itself, and the
     // backedge push/delete-site classification it feeds.
     PST_SPAN("cycleequiv.dfs");
-    buildAdjacency();
-    undirectedDfs(View.Root < numNodes() ? View.Root : 0);
+    if (!AdjacencyPrebuilt)
+      buildAdjacency();
+    undirectedDfs(Root < numNodes() ? Root : 0);
     classifyEdges();
   }
   {
@@ -418,17 +491,172 @@ CycleEquivResult CycleEquivSolver::run() {
   return R;
 }
 
+/// Writes the undirected incidence CSR for G + (exit -> entry) straight
+/// from the view's succ/pred CSR. Each node's incident real edges are the
+/// ascending-edge-id merge of its succ and pred segments — exactly the
+/// order the counting-pass builder produces — with self loops skipped
+/// (collected in global edge order into S.SelfLoops) and the return edge,
+/// whose id is the largest, appended at entry and exit. One pass over the
+/// nodes, no counting pass, no cursor array.
+void buildViewAdjacency(const CfgView &V, bool AddReturnEdge,
+                        CycleEquivScratch &S) {
+  const uint32_t N = V.numNodes();
+  const uint32_t E = V.numEdges();
+  const uint32_t RetId = E;
+  const NodeId *Src = V.edgeSrc();
+  const NodeId *Dst = V.edgeDst();
+
+  S.SelfLoops.clear();
+  for (uint32_t I = 0; I < E; ++I)
+    if (Src[I] == Dst[I])
+      S.SelfLoops.push_back(I);
+  bool RetIsSelfLoop = AddReturnEdge && V.entry() == V.exit();
+  if (RetIsSelfLoop)
+    S.SelfLoops.push_back(RetId);
+
+  S.AdjOff.resize(N + 1);
+  uint32_t UpperBound = 2 * E + (AddReturnEdge ? 2 : 0);
+  S.AdjEdge.resize(UpperBound);
+  S.AdjOther.resize(UpperBound);
+  uint32_t W = 0;
+  for (NodeId Node = 0; Node < N; ++Node) {
+    S.AdjOff[Node] = W;
+    auto SuccE = V.succEdges(Node);
+    auto SuccN = V.succNodes(Node);
+    auto PredE = V.predEdges(Node);
+    auto PredN = V.predNodes(Node);
+    size_t I = 0, J = 0;
+    while (I < SuccE.size() || J < PredE.size()) {
+      bool TakeSucc =
+          J == PredE.size() || (I < SuccE.size() && SuccE[I] < PredE[J]);
+      if (TakeSucc) {
+        if (SuccN[I] != Node) {
+          S.AdjEdge[W] = SuccE[I];
+          S.AdjOther[W] = SuccN[I];
+          ++W;
+        }
+        ++I;
+      } else {
+        if (PredN[J] != Node) {
+          S.AdjEdge[W] = PredE[J];
+          S.AdjOther[W] = PredN[J];
+          ++W;
+        }
+        ++J;
+      }
+    }
+    if (AddReturnEdge && !RetIsSelfLoop) {
+      if (Node == V.entry()) {
+        S.AdjEdge[W] = RetId;
+        S.AdjOther[W] = V.exit();
+        ++W;
+      } else if (Node == V.exit()) {
+        S.AdjEdge[W] = RetId;
+        S.AdjOther[W] = V.entry();
+        ++W;
+      }
+    }
+  }
+  S.AdjOff[N] = W;
+}
+
+/// Writes the undirected incidence CSR for T(S) directly from the view.
+/// T(S) has no self loops, and every per-node incidence list comes out in
+/// ascending edge id by construction: representative edge V (< N), then
+/// the node's original-edge segment shifted by N (pred edges at V_in, succ
+/// edges at V_out; both segments are already ascending), then the return
+/// edge (the largest id) at the entry's V_in / exit's V_out.
+void buildTsAdjacency(const CfgView &V, CycleEquivScratch &S) {
+  const uint32_t N = V.numNodes();
+  const uint32_t E = V.numEdges();
+  const uint32_t RetId = N + E;
+
+  S.SelfLoops.clear();
+  S.AdjOff.resize(2 * N + 1);
+  uint32_t Total = 2 * (N + E + 1);
+  S.AdjEdge.resize(Total);
+  S.AdjOther.resize(Total);
+  uint32_t W = 0;
+  for (NodeId Node = 0; Node < N; ++Node) {
+    // V_in = 2*Node.
+    S.AdjOff[2 * Node] = W;
+    S.AdjEdge[W] = Node;
+    S.AdjOther[W] = 2 * Node + 1;
+    ++W;
+    auto PredE = V.predEdges(Node);
+    auto PredN = V.predNodes(Node);
+    for (size_t J = 0; J < PredE.size(); ++J) {
+      S.AdjEdge[W] = N + PredE[J];
+      S.AdjOther[W] = 2 * PredN[J] + 1;
+      ++W;
+    }
+    if (Node == V.entry()) {
+      S.AdjEdge[W] = RetId;
+      S.AdjOther[W] = 2 * V.exit() + 1;
+      ++W;
+    }
+    // V_out = 2*Node+1.
+    S.AdjOff[2 * Node + 1] = W;
+    S.AdjEdge[W] = Node;
+    S.AdjOther[W] = 2 * Node;
+    ++W;
+    auto SuccE = V.succEdges(Node);
+    auto SuccN = V.succNodes(Node);
+    for (size_t I = 0; I < SuccE.size(); ++I) {
+      S.AdjEdge[W] = N + SuccE[I];
+      S.AdjOther[W] = 2 * SuccN[I];
+      ++W;
+    }
+    if (Node == V.exit()) {
+      S.AdjEdge[W] = RetId;
+      S.AdjOther[W] = 2 * V.entry();
+      ++W;
+    }
+  }
+  S.AdjOff[2 * N] = W;
+}
+
 } // namespace
 
 CycleEquivResult pst::computeCycleEquivalenceRaw(
     const UndirectedGraphView &View) {
   CycleEquivScratch Scratch;
-  return CycleEquivSolver(View, Scratch).run();
+  return computeCycleEquivalenceRaw(View, Scratch);
 }
 
 CycleEquivResult pst::computeCycleEquivalenceRaw(
     const UndirectedGraphView &View, CycleEquivScratch &Scratch) {
-  return CycleEquivSolver(View, Scratch).run();
+  PairEndpoints Ep{View.Endpoints.data()};
+  CycleEquivSolver<PairEndpoints> Solver(
+      View.NumNodes, View.Root,
+      static_cast<uint32_t>(View.Endpoints.size()), Ep, Scratch);
+  return Solver.run(/*AdjacencyPrebuilt=*/false);
+}
+
+CycleEquivResult pst::computeCycleEquivalence(const CfgView &V,
+                                              bool AddReturnEdge,
+                                              CycleEquivScratch &Scratch) {
+  buildViewAdjacency(V, AddReturnEdge, Scratch);
+  ViewEndpoints Ep{V.edgeSrc(), V.edgeDst(), V.numEdges(), V.exit(),
+                   V.entry()};
+  uint32_t NumReal = V.numEdges() + (AddReturnEdge ? 1 : 0);
+  NodeId Root = V.entry() != InvalidNode ? V.entry() : 0;
+  CycleEquivSolver<ViewEndpoints> Solver(V.numNodes(), Root, NumReal, Ep,
+                                         Scratch);
+  CycleEquivResult R = Solver.run(/*AdjacencyPrebuilt=*/true);
+  R.HasReturnEdge = AddReturnEdge;
+  return R;
+}
+
+CycleEquivResult pst::computeCycleEquivalenceTs(const CfgView &V,
+                                                CycleEquivScratch &Scratch) {
+  buildTsAdjacency(V, Scratch);
+  TsEndpoints Ep{V.edgeSrc(), V.edgeDst(), V.numNodes(), V.numEdges(),
+                 V.entry(), V.exit()};
+  uint32_t NumReal = V.numNodes() + V.numEdges() + 1;
+  CycleEquivSolver<TsEndpoints> Solver(2 * V.numNodes(), 2 * V.entry(),
+                                       NumReal, Ep, Scratch);
+  return Solver.run(/*AdjacencyPrebuilt=*/true);
 }
 
 namespace {
@@ -460,4 +688,8 @@ CycleEquivResult pst::computeCycleEquivalence(const Cfg &G,
 
 CycleEquivResult CycleEquivEngine::run(const Cfg &G, bool AddReturnEdge) {
   return runOnView(G, AddReturnEdge, View, &Solver);
+}
+
+CycleEquivResult CycleEquivEngine::run(const CfgView &V, bool AddReturnEdge) {
+  return computeCycleEquivalence(V, AddReturnEdge, Solver);
 }

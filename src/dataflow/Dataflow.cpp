@@ -15,8 +15,11 @@
 
 using namespace pst;
 
-DataflowSolution pst::solveIterative(const Cfg &G,
-                                     const BitVectorProblem &P) {
+namespace {
+
+template <class GraphT>
+DataflowSolution solveIterativeImpl(const GraphT &G,
+                                    const BitVectorProblem &P) {
   PST_SPAN("dataflow.solve_iterative");
   uint32_t N = G.numNodes();
   DataflowSolution S;
@@ -59,6 +62,18 @@ DataflowSolution pst::solveIterative(const Cfg &G,
   PST_COUNTER("dataflow.iterative_passes", Passes);
   PST_VALUE("dataflow.passes_per_solve", Passes);
   return S;
+}
+
+} // namespace
+
+DataflowSolution pst::solveIterative(const Cfg &G,
+                                     const BitVectorProblem &P) {
+  return solveIterativeImpl(G, P);
+}
+
+DataflowSolution pst::solveIterative(const CfgView &V,
+                                     const BitVectorProblem &P) {
+  return solveIterativeImpl(V, P);
 }
 
 BitVectorProblem pst::reverseProblem(const BitVectorProblem &P) {
@@ -132,9 +147,12 @@ BodySolution solveBody(const CollapsedBody &B, const BitVectorProblem &P,
 
 } // namespace
 
-DataflowSolution pst::solveElimination(const Cfg &G,
-                                       const ProgramStructureTree &T,
-                                       const BitVectorProblem &P) {
+namespace {
+
+template <class GraphT>
+DataflowSolution solveEliminationImpl(const GraphT &G,
+                                      const ProgramStructureTree &T,
+                                      const BitVectorProblem &P) {
   PST_SPAN("dataflow.solve_elimination");
   PST_COUNTER("dataflow.elimination_solves", 1);
   uint32_t NumRegions = T.numRegions();
@@ -196,4 +214,18 @@ DataflowSolution pst::solveElimination(const Cfg &G,
     }
   }
   return S;
+}
+
+} // namespace
+
+DataflowSolution pst::solveElimination(const Cfg &G,
+                                       const ProgramStructureTree &T,
+                                       const BitVectorProblem &P) {
+  return solveEliminationImpl(G, T, P);
+}
+
+DataflowSolution pst::solveElimination(const CfgView &V,
+                                       const ProgramStructureTree &T,
+                                       const BitVectorProblem &P) {
+  return solveEliminationImpl(V, T, P);
 }

@@ -18,12 +18,12 @@ namespace {
 /// Marks every region whose subtree contains a node with a non-identity
 /// transfer function (plus all ancestors). Unmarked regions are
 /// transparent and bypassable.
-std::vector<bool> markOpaqueRegions(const Cfg &G,
+std::vector<bool> markOpaqueRegions(uint32_t NumNodes,
                                     const ProgramStructureTree &T,
                                     const BitVectorProblem &P) {
   std::vector<bool> Marked(T.numRegions(), false);
   Marked[T.root()] = true;
-  for (NodeId N = 0; N < G.numNodes(); ++N) {
+  for (NodeId N = 0; N < NumNodes; ++N) {
     if (P.isIdentity(N))
       continue;
     for (RegionId R = T.regionOfNode(N);
@@ -33,12 +33,11 @@ std::vector<bool> markOpaqueRegions(const Cfg &G,
   return Marked;
 }
 
-} // namespace
-
-Qpg pst::buildQpg(const Cfg &G, const ProgramStructureTree &T,
-                  const BitVectorProblem &P) {
+template <class GraphT>
+Qpg buildQpgImpl(const GraphT &G, const ProgramStructureTree &T,
+                 const BitVectorProblem &P) {
   PST_SPAN("dataflow.qpg_build");
-  std::vector<bool> Opaque = markOpaqueRegions(G, T, P);
+  std::vector<bool> Opaque = markOpaqueRegions(G.numNodes(), T, P);
 
   Qpg Q;
   Q.NodeIndex.assign(G.numNodes(), UINT32_MAX);
@@ -87,10 +86,11 @@ Qpg pst::buildQpg(const Cfg &G, const ProgramStructureTree &T,
   return Q;
 }
 
-EdgeSolution pst::solveOnQpg(const Cfg &G, const ProgramStructureTree &T,
-                             const BitVectorProblem &P, Qpg *OutQpg) {
+template <class GraphT>
+EdgeSolution solveOnQpgImpl(const GraphT &G, const ProgramStructureTree &T,
+                            const BitVectorProblem &P, Qpg *OutQpg) {
   PST_SPAN("dataflow.qpg_solve");
-  Qpg Q = buildQpg(G, T, P);
+  Qpg Q = buildQpgImpl(G, T, P);
 
   // Iterate on the QPG: In[q] = meet of Out over incoming edges' sources;
   // the value carried by a QPG edge is Out[source].
@@ -148,12 +148,12 @@ EdgeSolution pst::solveOnQpg(const Cfg &G, const ProgramStructureTree &T,
         S.EdgeValue[E] = Value;
         Known[E] = true;
       }
-      for (RegionId C : T.region(Cur).Children)
+      for (RegionId C : T.children(Cur))
         Stack.push_back(C);
     }
   };
 
-  std::vector<bool> Opaque = markOpaqueRegions(G, T, P);
+  std::vector<bool> Opaque = markOpaqueRegions(G.numNodes(), T, P);
   for (const Qpg::Edge &QE : Q.Edges) {
     const BitVector &Value = Out[QE.Src];
     // Walk the same transparent chain the builder walked.
@@ -178,6 +178,28 @@ EdgeSolution pst::solveOnQpg(const Cfg &G, const ProgramStructureTree &T,
   if (OutQpg)
     *OutQpg = std::move(Q);
   return S;
+}
+
+} // namespace
+
+Qpg pst::buildQpg(const Cfg &G, const ProgramStructureTree &T,
+                  const BitVectorProblem &P) {
+  return buildQpgImpl(G, T, P);
+}
+
+Qpg pst::buildQpg(const CfgView &V, const ProgramStructureTree &T,
+                  const BitVectorProblem &P) {
+  return buildQpgImpl(V, T, P);
+}
+
+EdgeSolution pst::solveOnQpg(const Cfg &G, const ProgramStructureTree &T,
+                             const BitVectorProblem &P, Qpg *OutQpg) {
+  return solveOnQpgImpl(G, T, P, OutQpg);
+}
+
+EdgeSolution pst::solveOnQpg(const CfgView &V, const ProgramStructureTree &T,
+                             const BitVectorProblem &P, Qpg *OutQpg) {
+  return solveOnQpgImpl(V, T, P, OutQpg);
 }
 
 EdgeSolution pst::edgeView(const Cfg &G, const DataflowSolution &S) {

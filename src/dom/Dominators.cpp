@@ -44,7 +44,7 @@ void DomTree::finalize() {
   }
 }
 
-DomTree DomTree::buildIterative(const Cfg &G) {
+template <class GraphT> DomTree DomTree::buildIterativeImpl(const GraphT &G) {
   DomTree T;
   T.Root = G.entry();
   uint32_t N = G.numNodes();
@@ -91,6 +91,12 @@ DomTree DomTree::buildIterative(const Cfg &G) {
   T.Idom[T.Root] = InvalidNode;
   T.finalize();
   return T;
+}
+
+DomTree DomTree::buildIterative(const Cfg &G) { return buildIterativeImpl(G); }
+
+DomTree DomTree::buildIterative(const CfgView &V) {
+  return buildIterativeImpl(V);
 }
 
 namespace {
@@ -205,6 +211,10 @@ DomTree DomTree::buildPostDom(const Cfg &G) {
   return buildIterative(reverseCfg(G));
 }
 
+DomTree DomTree::buildPostDom(const CfgView &V) {
+  return buildIterativeImpl(ReversedCfgView(V));
+}
+
 DomTree DomTree::fromIdom(NodeId Root, std::vector<NodeId> Idom) {
   DomTree T;
   T.Root = Root;
@@ -215,7 +225,8 @@ DomTree DomTree::fromIdom(NodeId Root, std::vector<NodeId> Idom) {
   return T;
 }
 
-DominanceFrontiers::DominanceFrontiers(const Cfg &G, const DomTree &DT) {
+template <class GraphT>
+void DominanceFrontiers::init(const GraphT &G, const DomTree &DT) {
   uint32_t N = G.numNodes();
   DF.assign(N, {});
   for (NodeId M = 0; M < N; ++M) {
@@ -236,6 +247,14 @@ DominanceFrontiers::DominanceFrontiers(const Cfg &G, const DomTree &DT) {
     std::sort(F.begin(), F.end());
     F.erase(std::unique(F.begin(), F.end()), F.end());
   }
+}
+
+DominanceFrontiers::DominanceFrontiers(const Cfg &G, const DomTree &DT) {
+  init(G, DT);
+}
+
+DominanceFrontiers::DominanceFrontiers(const CfgView &V, const DomTree &DT) {
+  init(V, DT);
 }
 
 std::vector<NodeId>

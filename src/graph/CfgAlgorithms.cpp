@@ -13,7 +13,11 @@
 
 using namespace pst;
 
-DfsResult pst::depthFirstSearch(const Cfg &G, NodeId Root) {
+namespace {
+
+// Shared by the Cfg and CfgView overloads: both graph types expose the same
+// read API, and the template guarantees the traversal orders cannot diverge.
+template <class GraphT> DfsResult dfsImpl(const GraphT &G, NodeId Root) {
   DfsResult R;
   uint32_t N = G.numNodes();
   R.PreNum.assign(N, UINT32_MAX);
@@ -46,6 +50,20 @@ DfsResult pst::depthFirstSearch(const Cfg &G, NodeId Root) {
     Stack.emplace_back(To, 0);
   }
   return R;
+}
+
+} // namespace
+
+DfsResult pst::depthFirstSearch(const Cfg &G, NodeId Root) {
+  return dfsImpl(G, Root);
+}
+
+DfsResult pst::depthFirstSearch(const CfgView &G, NodeId Root) {
+  return dfsImpl(G, Root);
+}
+
+DfsResult pst::depthFirstSearch(const ReversedCfgView &G, NodeId Root) {
+  return dfsImpl(G, Root);
 }
 
 std::vector<bool> pst::reachableFrom(const Cfg &G, NodeId Root) {
@@ -96,6 +114,16 @@ std::vector<NodeId> pst::reversePostOrder(const Cfg &G) {
   DfsResult R = depthFirstSearch(G, G.entry());
   std::vector<NodeId> RPO(R.Postorder.rbegin(), R.Postorder.rend());
   return RPO;
+}
+
+std::vector<NodeId> pst::reversePostOrder(const CfgView &G) {
+  DfsResult R = depthFirstSearch(G, G.entry());
+  return std::vector<NodeId>(R.Postorder.rbegin(), R.Postorder.rend());
+}
+
+std::vector<NodeId> pst::reversePostOrder(const ReversedCfgView &G) {
+  DfsResult R = depthFirstSearch(G, G.entry());
+  return std::vector<NodeId>(R.Postorder.rbegin(), R.Postorder.rend());
 }
 
 bool pst::validateCfg(const Cfg &G, std::string *Why) {

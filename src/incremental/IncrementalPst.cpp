@@ -297,7 +297,10 @@ bool IncrementalPst::deleteEdge(EdgeId E) {
 //===----------------------------------------------------------------------===//
 
 uint32_t IncrementalPst::commit() {
-  PST_SPAN("incremental.commit");
+  // Tag the span with the commit's 1-based sequence number so trace spans
+  // can be correlated with specific edit batches (the nested rebuild spans
+  // carry the same id).
+  PST_SPAN_ARG("incremental.commit", "batch", Stats.Commits + 1);
   absorbJournal();
   if (!RootDirty && DirtySet.empty())
     return 0;
@@ -342,7 +345,7 @@ uint32_t IncrementalPst::commit() {
 
 bool IncrementalPst::rebuildSubtree(RegionId D,
                                     const std::vector<NodeId> &Body) {
-  PST_SPAN("incremental.subtree_rebuild");
+  PST_SPAN_ARG("incremental.subtree_rebuild", "batch", Stats.Commits);
   assert(D != root() && Regions[D].Live && "dirty region must be real");
   assert(DG.edgeLive(Regions[D].EntryEdge) &&
          DG.edgeLive(Regions[D].ExitEdge) &&
@@ -406,7 +409,7 @@ bool IncrementalPst::rebuildSubtree(RegionId D,
     S.Parent = Map[Src.Parent];
     S.Depth = BaseDepth + Src.Depth;
     S.Children.clear();
-    for (RegionId C : Src.Children)
+    for (RegionId C : SubT.children(R))
       S.Children.push_back(Map[C]);
     S.Nodes.clear();
     for (NodeId L : SubT.immediateNodes(R)) {
@@ -424,7 +427,7 @@ bool IncrementalPst::rebuildSubtree(RegionId D,
     // only entry is D's entry edge), so an in-place splice preserves the
     // parent's child order.
     std::vector<RegionId> NewKids;
-    for (RegionId C : SubT.region(SubT.root()).Children)
+    for (RegionId C : SubT.children(SubT.root()))
       NewKids.push_back(Map[C]);
     auto &Sib = Regions[P].Children;
     Sib.erase(Sib.begin() + SlotInParent);
@@ -463,7 +466,8 @@ bool IncrementalPst::rebuildSubtree(RegionId D,
 }
 
 void IncrementalPst::fullRebuild() {
-  PST_SPAN("incremental.full_rebuild");
+  // Batch 0 is the constructor's initial build; commits re-increment first.
+  PST_SPAN_ARG("incremental.full_rebuild", "batch", Stats.Commits);
   std::vector<EdgeId> GlobalOf;
   Cfg M = DG.materialize(&GlobalOf);
   ProgramStructureTree T =
@@ -480,9 +484,11 @@ void IncrementalPst::fullRebuild() {
     S.ExitEdge =
         Src.ExitEdge == InvalidEdge ? InvalidEdge : GlobalOf[Src.ExitEdge];
     S.Parent = Src.Parent;
-    S.Children = Src.Children;
+    auto Kids = T.children(R);
+    S.Children.assign(Kids.begin(), Kids.end());
     S.Depth = Src.Depth;
-    S.Nodes = T.immediateNodes(R);
+    auto Imm = T.immediateNodes(R);
+    S.Nodes.assign(Imm.begin(), Imm.end());
     S.Live = true;
   }
 
@@ -601,7 +607,8 @@ bool IncrementalPst::equalsFromScratch(std::string *Why) const {
   }
   // Immediate node sets per region (order-insensitive).
   for (RegionId R = 0; R < T.numRegions(); ++R) {
-    std::vector<NodeId> A = T.immediateNodes(R);
+    auto ImmA = T.immediateNodes(R);
+    std::vector<NodeId> A(ImmA.begin(), ImmA.end());
     std::vector<NodeId> B = Regions[IncOf[R]].Nodes;
     std::sort(A.begin(), A.end());
     std::sort(B.begin(), B.end());

@@ -162,7 +162,8 @@ uint64_t pst::obs_detail::spanBegin(const char *Name) {
   return Now;
 }
 
-void pst::obs_detail::spanEnd(const char *Name, uint64_t StartNs) {
+void pst::obs_detail::spanEnd(const char *Name, uint64_t StartNs,
+                              const char *ArgName, uint64_t ArgValue) {
   ThreadSink &S = localSink();
   assert(!S.Stack.empty() && S.Stack.back().Name == Name &&
          "unbalanced span stack");
@@ -181,6 +182,8 @@ void pst::obs_detail::spanEnd(const char *Name, uint64_t StartNs) {
   E.Depth = static_cast<uint32_t>(S.Stack.size());
   E.StartNs = StartNs;
   E.DurNs = Dur;
+  E.ArgName = ArgName;
+  E.ArgValue = ArgValue;
   S.Events.push_back(E);
 }
 

@@ -75,7 +75,13 @@ void TraceWriter::write(std::ostream &OS) const {
     appendMicros(OS, E.StartNs);
     OS << ", \"dur\": ";
     appendMicros(OS, E.DurNs);
-    OS << ", \"args\": {\"depth\": " << E.Depth << "}}";
+    OS << ", \"args\": {\"depth\": " << E.Depth;
+    if (E.ArgName) {
+      OS << ", \"";
+      appendEscaped(OS, E.ArgName);
+      OS << "\": " << E.ArgValue;
+    }
+    OS << "}}";
   }
 
   // Counters as one summary instant event so they travel with the trace.

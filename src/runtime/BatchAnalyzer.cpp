@@ -12,11 +12,14 @@ using namespace pst;
 
 FunctionAnalysis pst::analyzeFunction(const Cfg &G, PstScratch &Scratch,
                                       bool ComputeControlRegions) {
+  // Freeze the adjacency once (two counting passes into the scratch CSR);
+  // both pipeline stages run on the shared view and never consult G again.
+  CfgView V = CfgView::build(G, Scratch.View);
   FunctionAnalysis Out;
-  Out.Pst = ProgramStructureTree::build(G, Scratch.PstBuild);
+  Out.Pst = ProgramStructureTree::build(V, Scratch.PstBuild);
   if (ComputeControlRegions)
     Out.ControlRegions =
-        computeControlRegionsLinearImplicit(G, Scratch.CtrlRegions);
+        computeControlRegionsLinearImplicit(V, Scratch.CtrlRegions);
   return Out;
 }
 

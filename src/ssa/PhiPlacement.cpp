@@ -15,10 +15,12 @@
 
 using namespace pst;
 
-PhiPlacement pst::placePhisClassic(const LoweredFunction &F) {
+namespace {
+
+template <class GraphT>
+PhiPlacement placePhisClassicImpl(const LoweredFunction &F, const GraphT &G) {
   PST_SPAN("ssa.phi_classic");
   PST_COUNTER("ssa.classic_placements", 1);
-  const Cfg &G = F.Graph;
   DomTree DT = DomTree::buildIterative(G);
   DominanceFrontiers DF(G, DT);
 
@@ -40,8 +42,6 @@ PhiPlacement pst::placePhisClassic(const LoweredFunction &F) {
   return P;
 }
 
-namespace {
-
 /// Per-region quotient machinery cached across variables: the collapsed
 /// body as a CFG with a virtual entry (so dominators are rooted), its
 /// dominance frontiers, and the quotient-node meanings.
@@ -52,7 +52,8 @@ struct RegionSolver {
   std::optional<DomTree> DT;
   std::optional<DominanceFrontiers> DF;
 
-  void build(const Cfg &G, const ProgramStructureTree &T, RegionId R) {
+  template <class GraphT>
+  void build(const GraphT &G, const ProgramStructureTree &T, RegionId R) {
     Body = collapseRegion(G, T, R);
     for (uint32_t I = 0; I < Body.numNodes(); ++I)
       Q.addNode();
@@ -69,13 +70,11 @@ struct RegionSolver {
   }
 };
 
-} // namespace
-
-PhiPlacement pst::placePhisPst(const LoweredFunction &F,
-                               const ProgramStructureTree &T) {
+template <class GraphT>
+PhiPlacement placePhisPstImpl(const LoweredFunction &F, const GraphT &G,
+                              const ProgramStructureTree &T) {
   PST_SPAN("ssa.phi_pst");
   PST_COUNTER("ssa.pst_placements", 1);
-  const Cfg &G = F.Graph;
   uint32_t NumRegions = T.numRegions();
 
   PhiPlacement P;
@@ -154,4 +153,25 @@ PhiPlacement pst::placePhisPst(const LoweredFunction &F,
     P.PhiBlocks[V] = std::move(Phis);
   }
   return P;
+}
+
+} // namespace
+
+PhiPlacement pst::placePhisClassic(const LoweredFunction &F) {
+  return placePhisClassicImpl(F, F.Graph);
+}
+
+PhiPlacement pst::placePhisClassic(const LoweredFunction &F,
+                                   const CfgView &V) {
+  return placePhisClassicImpl(F, V);
+}
+
+PhiPlacement pst::placePhisPst(const LoweredFunction &F,
+                               const ProgramStructureTree &T) {
+  return placePhisPstImpl(F, F.Graph, T);
+}
+
+PhiPlacement pst::placePhisPst(const LoweredFunction &F, const CfgView &V,
+                               const ProgramStructureTree &T) {
+  return placePhisPstImpl(F, V, T);
 }

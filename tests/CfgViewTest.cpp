@@ -1,0 +1,287 @@
+//===- CfgViewTest.cpp - frozen CSR adjacency snapshot -------------------------===//
+//
+// Part of the PST library (see CfgView.h for the reference).
+//
+// Three layers of coverage for the shared CSR view:
+//  1. Construction goldens: a hand-built graph (with a self loop and a
+//     parallel edge) pins the exact contents of all eight flat arrays.
+//  2. Iteration equivalence: on randomized CFGs every view accessor must
+//     reproduce the Cfg accessors element-for-element, and ReversedCfgView
+//     must reproduce a materialized reverseCfg.
+//  3. Byte identity: over the full 254-procedure paper corpus, every
+//     pipeline stage's CfgView overload must produce output identical to
+//     the legacy Cfg path — same cycle-equivalence class ids, same PST
+//     print, same control-region numbering, same idoms/frontiers, same
+//     dataflow fixpoints, same phi placements. Not "equivalent modulo
+//     renaming": identical, which is what lets analyzeFunction switch
+//     paths without perturbing any downstream consumer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/graph/CfgView.h"
+
+#include "pst/cdg/ControlRegions.h"
+#include "pst/core/ProgramStructureTree.h"
+#include "pst/core/PstDominators.h"
+#include "pst/core/RegionAnalysis.h"
+#include "pst/cycleequiv/CycleEquiv.h"
+#include "pst/dataflow/Dataflow.h"
+#include "pst/dataflow/Problems.h"
+#include "pst/dataflow/Qpg.h"
+#include "pst/dataflow/Seg.h"
+#include "pst/dom/Dominators.h"
+#include "pst/graph/CfgAlgorithms.h"
+#include "pst/ssa/PhiPlacement.h"
+#include "pst/workload/CfgGenerators.h"
+#include "pst/workload/Corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace pst;
+
+namespace {
+
+template <class T>
+std::vector<T> collect(std::span<const T> S) {
+  return std::vector<T>(S.begin(), S.end());
+}
+
+//===----------------------------------------------------------------------===//
+// CSR construction goldens
+//===----------------------------------------------------------------------===//
+
+TEST(CfgView, CsrGoldenWithSelfLoopAndParallelEdge) {
+  Cfg G;
+  for (int I = 0; I < 4; ++I)
+    G.addNode();
+  G.setEntry(0);
+  G.setExit(3);
+  G.addEdge(0, 1); // e0
+  G.addEdge(0, 2); // e1
+  G.addEdge(1, 3); // e2
+  G.addEdge(2, 3); // e3
+  G.addEdge(1, 1); // e4: self loop
+  G.addEdge(0, 2); // e5: parallel to e1
+
+  CfgViewScratch S;
+  CfgView V = CfgView::build(G, S);
+
+  EXPECT_EQ(V.numNodes(), 4u);
+  EXPECT_EQ(V.numEdges(), 6u);
+  EXPECT_EQ(V.entry(), 0u);
+  EXPECT_EQ(V.exit(), 3u);
+
+  const std::vector<uint32_t> SuccOff(V.succOff(), V.succOff() + 5);
+  const std::vector<uint32_t> PredOff(V.predOff(), V.predOff() + 5);
+  EXPECT_EQ(SuccOff, (std::vector<uint32_t>{0, 3, 5, 6, 6}));
+  EXPECT_EQ(PredOff, (std::vector<uint32_t>{0, 0, 2, 4, 6}));
+
+  const std::vector<EdgeId> SuccEdge(V.succEdge(), V.succEdge() + 6);
+  const std::vector<NodeId> SuccTo(V.succTo(), V.succTo() + 6);
+  EXPECT_EQ(SuccEdge, (std::vector<EdgeId>{0, 1, 5, 2, 4, 3}));
+  EXPECT_EQ(SuccTo, (std::vector<NodeId>{1, 2, 2, 3, 1, 3}));
+
+  const std::vector<EdgeId> PredEdge(V.predEdge(), V.predEdge() + 6);
+  const std::vector<NodeId> PredFrom(V.predFrom(), V.predFrom() + 6);
+  EXPECT_EQ(PredEdge, (std::vector<EdgeId>{0, 4, 1, 5, 2, 3}));
+  EXPECT_EQ(PredFrom, (std::vector<NodeId>{0, 1, 0, 0, 1, 2}));
+
+  const std::vector<NodeId> Src(V.edgeSrc(), V.edgeSrc() + 6);
+  const std::vector<NodeId> Dst(V.edgeDst(), V.edgeDst() + 6);
+  EXPECT_EQ(Src, (std::vector<NodeId>{0, 0, 1, 2, 1, 0}));
+  EXPECT_EQ(Dst, (std::vector<NodeId>{1, 2, 3, 3, 1, 2}));
+
+  EXPECT_EQ(V.outDegree(0), 3u);
+  EXPECT_EQ(V.inDegree(0), 0u);
+  EXPECT_EQ(V.outDegree(3), 0u);
+  EXPECT_EQ(V.inDegree(3), 2u);
+}
+
+TEST(CfgView, ScratchReuseAcrossGraphsOfDifferentSize) {
+  CfgViewScratch S;
+  Cfg Big = diamondLadderCfg(40);
+  CfgView VBig = CfgView::build(Big, S);
+  EXPECT_EQ(VBig.numNodes(), Big.numNodes());
+
+  // Rebuilding into the same scratch from a smaller graph must not leak
+  // stale rows from the larger one.
+  Cfg Small;
+  Small.addNode();
+  Small.addNode();
+  Small.setEntry(0);
+  Small.setExit(1);
+  Small.addEdge(0, 1);
+  CfgView VSmall = CfgView::build(Small, S);
+  EXPECT_EQ(VSmall.numNodes(), 2u);
+  EXPECT_EQ(VSmall.numEdges(), 1u);
+  EXPECT_EQ(collect(VSmall.succEdges(0)), (std::vector<EdgeId>{0}));
+  EXPECT_EQ(collect(VSmall.succNodes(0)), (std::vector<NodeId>{1}));
+  EXPECT_TRUE(VSmall.succEdges(1).empty());
+  EXPECT_EQ(collect(VSmall.predEdges(1)), (std::vector<EdgeId>{0}));
+}
+
+//===----------------------------------------------------------------------===//
+// Iteration equivalence on randomized CFGs
+//===----------------------------------------------------------------------===//
+
+void expectViewMatchesCfg(const Cfg &G) {
+  CfgViewScratch S;
+  CfgView V = CfgView::build(G, S);
+
+  ASSERT_EQ(V.numNodes(), G.numNodes());
+  ASSERT_EQ(V.numEdges(), G.numEdges());
+  ASSERT_EQ(V.entry(), G.entry());
+  ASSERT_EQ(V.exit(), G.exit());
+
+  for (EdgeId E = 0; E < G.numEdges(); ++E) {
+    ASSERT_EQ(V.source(E), G.source(E)) << "edge " << E;
+    ASSERT_EQ(V.target(E), G.target(E)) << "edge " << E;
+  }
+
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    ASSERT_EQ(collect(V.succEdges(N)), G.succEdges(N)) << "node " << N;
+    ASSERT_EQ(collect(V.predEdges(N)), G.predEdges(N)) << "node " << N;
+    ASSERT_EQ(V.outDegree(N), G.succEdges(N).size()) << "node " << N;
+    ASSERT_EQ(V.inDegree(N), G.predEdges(N).size()) << "node " << N;
+    // The node arrays are parallel to the edge arrays.
+    std::span<const EdgeId> SE = V.succEdges(N);
+    std::span<const NodeId> SN = V.succNodes(N);
+    for (size_t I = 0; I < SE.size(); ++I)
+      ASSERT_EQ(SN[I], G.target(SE[I])) << "node " << N;
+    std::span<const EdgeId> PE = V.predEdges(N);
+    std::span<const NodeId> PN = V.predNodes(N);
+    for (size_t I = 0; I < PE.size(); ++I)
+      ASSERT_EQ(PN[I], G.source(PE[I])) << "node " << N;
+  }
+
+  // ReversedCfgView against a materialized reverseCfg: reverseCfg keeps
+  // edge ids, so succ/pred sides must swap exactly.
+  Cfg RG = reverseCfg(G);
+  ReversedCfgView RV(V);
+  ASSERT_EQ(RV.entry(), RG.entry());
+  ASSERT_EQ(RV.exit(), RG.exit());
+  for (EdgeId E = 0; E < G.numEdges(); ++E) {
+    ASSERT_EQ(RV.source(E), RG.source(E));
+    ASSERT_EQ(RV.target(E), RG.target(E));
+  }
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    ASSERT_EQ(collect(RV.succEdges(N)), RG.succEdges(N)) << "node " << N;
+    ASSERT_EQ(collect(RV.predEdges(N)), RG.predEdges(N)) << "node " << N;
+  }
+}
+
+TEST(CfgView, IterationEquivalenceOnRandomizedCfgs) {
+  Rng R(20260807);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    RandomCfgOptions O;
+    O.NumNodes = 2 + static_cast<uint32_t>(R.nextBelow(120));
+    O.NumExtraEdges = static_cast<uint32_t>(R.nextBelow(2 * O.NumNodes));
+    Cfg G = randomBackboneCfg(R, O);
+    expectViewMatchesCfg(G);
+  }
+}
+
+TEST(CfgView, IterationEquivalenceOnStructuredFamilies) {
+  expectViewMatchesCfg(paperFigure1Cfg());
+  expectViewMatchesCfg(diamondLadderCfg(17));
+  expectViewMatchesCfg(nestedWhileCfg(5, 3));
+  expectViewMatchesCfg(nestedRepeatUntilCfg(9));
+  expectViewMatchesCfg(irreducibleCfg(3));
+}
+
+//===----------------------------------------------------------------------===//
+// Full-corpus byte identity: CfgView path == legacy path, stage by stage
+//===----------------------------------------------------------------------===//
+
+TEST(CfgViewByteIdentity, StructureStagesMatchLegacyOnFullCorpus) {
+  std::vector<CorpusFunction> Corpus = generatePaperCorpus(/*Seed=*/1994);
+  CfgViewScratch VS;
+  CycleEquivScratch CES;
+  PstBuildScratch PB;
+  ControlRegionsScratch CRS;
+
+  for (const CorpusFunction &C : Corpus) {
+    const Cfg &G = C.Fn.Graph;
+    CfgView V = CfgView::build(G, VS);
+
+    // Cycle equivalence: the same class id for every edge, not merely the
+    // same partition up to renaming.
+    CycleEquivResult CeL = computeCycleEquivalence(G);
+    CycleEquivResult CeV =
+        computeCycleEquivalence(V, /*AddReturnEdge=*/true, CES);
+    ASSERT_EQ(CeL.EdgeClass, CeV.EdgeClass) << C.Fn.Name;
+    ASSERT_EQ(CeL.NumClasses, CeV.NumClasses) << C.Fn.Name;
+
+    // PST: identical shape and node assignment, pinned through the printer.
+    ProgramStructureTree TL = ProgramStructureTree::build(G);
+    ProgramStructureTree TV = ProgramStructureTree::build(V, PB);
+    ASSERT_EQ(formatPst(G, TL), formatPst(G, TV)) << C.Fn.Name;
+
+    // Control regions: identical class numbering.
+    ControlRegionsResult CrL = computeControlRegionsLinearImplicit(G);
+    ControlRegionsResult CrV = computeControlRegionsLinearImplicit(V, CRS);
+    ASSERT_EQ(CrL.NodeClass, CrV.NodeClass) << C.Fn.Name;
+    ASSERT_EQ(CrL.NumClasses, CrV.NumClasses) << C.Fn.Name;
+
+    // Dominators, postdominators, frontiers, and the PST-derived variant.
+    DomTree DL = DomTree::buildIterative(G);
+    DomTree DV = DomTree::buildIterative(V);
+    DomTree PL = DomTree::buildPostDom(G);
+    DomTree PV = DomTree::buildPostDom(V);
+    DomTree QL = buildDominatorsViaPst(G, TL);
+    DomTree QV = buildDominatorsViaPst(V, TV);
+    DominanceFrontiers FL(G, DL);
+    DominanceFrontiers FV(V, DV);
+    for (NodeId N = 0; N < G.numNodes(); ++N) {
+      ASSERT_EQ(DL.idom(N), DV.idom(N)) << C.Fn.Name << " node " << N;
+      ASSERT_EQ(PL.idom(N), PV.idom(N)) << C.Fn.Name << " node " << N;
+      ASSERT_EQ(QL.idom(N), QV.idom(N)) << C.Fn.Name << " node " << N;
+      ASSERT_EQ(FL.frontier(N), FV.frontier(N)) << C.Fn.Name << " node " << N;
+    }
+  }
+}
+
+TEST(CfgViewByteIdentity, DataflowAndSsaStagesMatchLegacyOnFullCorpus) {
+  std::vector<CorpusFunction> Corpus = generatePaperCorpus(/*Seed=*/1994);
+  CfgViewScratch VS;
+
+  for (const CorpusFunction &C : Corpus) {
+    const Cfg &G = C.Fn.Graph;
+    CfgView V = CfgView::build(G, VS);
+    ProgramStructureTree T = ProgramStructureTree::build(G);
+    BitVectorProblem P = makeReachingDefs(C.Fn);
+
+    DataflowSolution ItL = solveIterative(G, P);
+    DataflowSolution ItV = solveIterative(V, P);
+    ASSERT_EQ(ItL, ItV) << C.Fn.Name << " iterative";
+
+    DataflowSolution ElL = solveElimination(G, T, P);
+    DataflowSolution ElV = solveElimination(V, T, P);
+    ASSERT_EQ(ElL, ElV) << C.Fn.Name << " elimination";
+
+    DomTree DT = DomTree::buildIterative(G);
+    DominanceFrontiers DF(G, DT);
+    DataflowSolution SgL = solveOnSeg(G, DT, DF, P);
+    DataflowSolution SgV = solveOnSeg(V, DT, DF, P);
+    ASSERT_EQ(SgL, SgV) << C.Fn.Name << " seg";
+
+    auto Keys = expressionKeys(C.Fn);
+    if (!Keys.empty()) {
+      BitVectorProblem Q = makeSingleExprAvailability(C.Fn, Keys.front());
+      EdgeSolution QpL = solveOnQpg(G, T, Q);
+      EdgeSolution QpV = solveOnQpg(V, T, Q);
+      ASSERT_EQ(QpL.EdgeValue, QpV.EdgeValue) << C.Fn.Name << " qpg";
+    }
+
+    PhiPlacement PcL = placePhisClassic(C.Fn);
+    PhiPlacement PcV = placePhisClassic(C.Fn, V);
+    ASSERT_EQ(PcL.PhiBlocks, PcV.PhiBlocks) << C.Fn.Name << " classic phis";
+    PhiPlacement PpL = placePhisPst(C.Fn, T);
+    PhiPlacement PpV = placePhisPst(C.Fn, V, T);
+    ASSERT_EQ(PpL.PhiBlocks, PpV.PhiBlocks) << C.Fn.Name << " pst phis";
+  }
+}
+
+} // namespace

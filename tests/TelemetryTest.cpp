@@ -28,6 +28,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -369,6 +371,64 @@ TEST_F(TelemetryTest, PipelineProbesPopulate) {
     if (std::string("cycleequiv.run") == E.Name && E.Depth > 0)
       NestedCycleEquiv = true;
   EXPECT_TRUE(NestedCycleEquiv);
+}
+/// The telemetry-diff regression gate: analyzing the 254-procedure paper
+/// corpus must produce exactly the pinned counter totals. Counters are
+/// work-proportional (runs, nodes, edges, classes, regions), so any change
+/// to what the pipeline computes — a stage silently running twice, a
+/// fast path skipping work, the CfgView path diverging from the legacy
+/// path — shows up as a diff here even when every oracle test still
+/// passes. Timers and span retention are deliberately excluded: they
+/// drift with machine speed; counters must not.
+///
+/// Regenerate after an intentional pipeline change with:
+///   PST_UPDATE_TELEMETRY_GOLDEN=1 ./tests/test_telemetry \
+///     --gtest_filter='*CounterGoldenPaperCorpus*'
+TEST_F(TelemetryTest, CounterGoldenPaperCorpus) {
+  Telemetry::setEnabled(true);
+
+  std::vector<CorpusFunction> Corpus = generatePaperCorpus(/*Seed=*/1994);
+  std::vector<const Cfg *> Ptrs;
+  Ptrs.reserve(Corpus.size());
+  for (const CorpusFunction &F : Corpus)
+    Ptrs.push_back(&F.Fn.Graph);
+
+  // Single worker: counter totals are order-independent sums, but one
+  // thread keeps the run itself deterministic too.
+  BatchOptions Opts;
+  Opts.NumThreads = 1;
+  BatchAnalyzer Engine(Opts);
+  (void)Engine.analyzeCorpus(std::span<const Cfg *const>(Ptrs));
+
+  TelemetrySnapshot S = TelemetryRegistry::global().snapshot();
+  std::ostringstream OS;
+  OS << "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : S.Counters) {
+    OS << (First ? "\n    \"" : ",\n    \"") << Name << "\": " << Value;
+    First = false;
+  }
+  OS << "\n  }\n}\n";
+  std::string Actual = OS.str();
+
+  const std::string Path =
+      std::string(PST_GOLDEN_DIR) + "/telemetry_counters_paper.json";
+  if (const char *Update = std::getenv("PST_UPDATE_TELEMETRY_GOLDEN");
+      Update && *Update) {
+    std::ofstream Out(Path);
+    Out << Actual;
+    ASSERT_TRUE(Out.good()) << "cannot write golden: " << Path;
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden: " << Path;
+  std::stringstream Expected;
+  Expected << In.rdbuf();
+  EXPECT_EQ(Actual, Expected.str())
+      << "telemetry counters drifted from " << Path
+      << "; if the pipeline change is intentional, regenerate with "
+         "PST_UPDATE_TELEMETRY_GOLDEN=1";
 }
 #endif // PST_TELEMETRY
 
