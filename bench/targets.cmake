@@ -30,6 +30,11 @@ pst_add_bench(fig_qpg_sparsity)
 pst_add_bench(time_batch_throughput)
 target_link_libraries(time_batch_throughput PRIVATE pst_runtime)
 
+# Region profiler pipeline (plain bench: custom JSON + a hard determinism
+# cross-check on the report bytes).
+pst_add_bench(time_region_profile)
+target_link_libraries(time_region_profile PRIVATE pst_prof)
+
 # Timing comparisons (google-benchmark).
 pst_add_timing_bench(time_cycleequiv_vs_domtree)
 pst_add_timing_bench(time_control_regions)

@@ -48,6 +48,12 @@ public:
   /// Lengauer-Tarjan algorithm (the "simple" eval/link variant).
   static DomTree buildLengauerTarjan(const Cfg &G);
 
+  /// As \c buildLengauerTarjan, over a frozen CSR view: the DFS and the
+  /// semidominator passes walk the shared flat succ/pred segments directly.
+  /// Bit-identical trees to the \c Cfg overload on a view of the same
+  /// graph.
+  static DomTree buildLengauerTarjan(const CfgView &V);
+
   /// Builds the postdominator tree of \p G (dominators of the reverse graph,
   /// rooted at exit), using the iterative algorithm.
   static DomTree buildPostDom(const Cfg &G);
@@ -98,6 +104,9 @@ private:
   // Shared iterative kernel for the Cfg, CfgView and ReversedCfgView
   // overloads; defined (and only instantiated) in Dominators.cpp.
   template <class GraphT> static DomTree buildIterativeImpl(const GraphT &G);
+  // Shared Lengauer-Tarjan kernel for the Cfg and CfgView overloads.
+  template <class GraphT>
+  static DomTree buildLengauerTarjanImpl(const GraphT &G);
 
   NodeId Root = InvalidNode;
   std::vector<NodeId> Idom;

@@ -54,6 +54,11 @@ struct ExecResult {
 struct CfgExecResult : ExecResult {
   /// BlockCounts[n] = number of times block n was entered.
   std::vector<uint64_t> BlockCounts;
+  /// EdgeCounts[e] = number of times edge e was traversed. Empty unless the
+  /// run was made with CountEdges = true (the region profiler's
+  /// branch-frequency attribution needs it; plain differential execution
+  /// does not pay for it).
+  std::vector<uint64_t> EdgeCounts;
 };
 
 /// The deterministic builtin backing MiniLang calls.
@@ -68,9 +73,14 @@ ExecResult runAst(const Function &F, const std::vector<int64_t> &Args,
                   uint64_t MaxSteps = 1 << 20);
 
 /// Executes lowered code on \p Args, recording per-block entry counts.
+/// With \p CountEdges set, additionally records per-edge traversal counts
+/// into \c CfgExecResult::EdgeCounts (one extra increment per block
+/// transition; the default leaves the edge profile empty and costs only a
+/// predictable untaken branch).
 CfgExecResult runLowered(const LoweredFunction &F,
                          const std::vector<int64_t> &Args,
-                         uint64_t MaxSteps = 1 << 20);
+                         uint64_t MaxSteps = 1 << 20,
+                         bool CountEdges = false);
 
 } // namespace pst
 

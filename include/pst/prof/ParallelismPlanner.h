@@ -1,0 +1,78 @@
+//===- pst/prof/ParallelismPlanner.h - Work/span region planner -*- C++ -*-===//
+//
+// Part of the PST library (see RegionProfile.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kremlin-style parallelism planning on top of a \c RegionProfile: score
+/// every profiled region by its *self*-parallelism (work per entry over
+/// estimated span per entry, children priced as serial black boxes) and
+/// its *coverage* (share of total dynamic work), then emit a ranked plan
+/// of non-overlapping regions.
+///
+/// The PST is what makes the plan well-formed: canonical SESE regions
+/// nest, so "non-overlapping" is exactly "no planned region is an
+/// ancestor or descendant of another", and coverage never double-counts —
+/// the selected regions' inclusive costs are disjoint slices of the total
+/// work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_PROF_PARALLELISMPLANNER_H
+#define PST_PROF_PARALLELISMPLANNER_H
+
+#include "pst/prof/RegionProfile.h"
+
+#include <vector>
+
+namespace pst {
+
+/// Thresholds for plan admission.
+struct PlannerOptions {
+  /// Minimum share of total work a region must cover to be considered.
+  double MinCoverage = 0.005;
+  /// Minimum self-parallelism (1 = perfectly serial).
+  double MinSelfParallelism = 1.05;
+  /// Plan size cap.
+  uint32_t MaxPlanEntries = 16;
+};
+
+/// One planned region, with the measurements that ranked it.
+struct PlanEntry {
+  RegionId Region = InvalidRegion;
+  RegionKind Kind = RegionKind::Block;
+  /// Inclusive dynamic instruction count across the workload.
+  uint64_t Work = 0;
+  uint64_t Entries = 0;
+  /// Work / total work of the workload, in [0, 1].
+  double Coverage = 0;
+  double SelfParallelism = 1;
+  /// Mean iterations per entry (cyclic regions; 0 otherwise).
+  double MeanIterations = 0;
+  /// The ranking key: Coverage * (1 - 1/SelfParallelism) — the fraction of
+  /// total work this region's own parallelism could ideally remove.
+  double Benefit = 0;
+};
+
+/// A ranked, nesting-disjoint parallelization plan.
+struct ParallelismPlan {
+  uint64_t TotalWork = 0;
+  /// Regions that passed the admission thresholds (before the disjointness
+  /// filter).
+  uint32_t CandidatesConsidered = 0;
+  /// Selected regions, best first.
+  std::vector<PlanEntry> Entries;
+};
+
+/// Plans over a finalized profile. Deterministic: candidates are ranked by
+/// (Benefit descending, RegionId ascending) and admitted greedily, skipping
+/// any region that nests inside — or around — an already planned one. The
+/// root region is never a candidate (parallelizing "everything" is not a
+/// plan).
+ParallelismPlan planParallelism(const RegionProfile &P,
+                                const PlannerOptions &Opts = {});
+
+} // namespace pst
+
+#endif // PST_PROF_PARALLELISMPLANNER_H

@@ -1,0 +1,42 @@
+//===- pst/prof/ProfileReport.h - Profile & plan reporting ------*- C++ -*-===//
+//
+// Part of the PST library (see RegionProfile.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rendering for region profiles and parallelism plans: an indented text
+/// tree (profile), a ranked text list (plan), and one combined JSON
+/// document. The JSON is byte-deterministic in the profile: counts are
+/// integers, derived ratios are computed the same way every time and
+/// printed with a fixed \c %.6f format, regions appear in ascending id
+/// order and plan entries in rank order. Tools and the bench cross-check
+/// this determinism by serializing twice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_PROF_PROFILEREPORT_H
+#define PST_PROF_PROFILEREPORT_H
+
+#include "pst/prof/ParallelismPlanner.h"
+#include "pst/prof/RegionProfile.h"
+
+#include <string>
+
+namespace pst {
+
+/// The region tree with each region's dynamics (requires a finalized
+/// profile).
+std::string formatRegionProfile(const RegionProfile &P);
+
+/// The ranked plan as a numbered list (one line per entry).
+std::string formatParallelismPlan(const RegionProfile &P,
+                                  const ParallelismPlan &Plan);
+
+/// Profile + plan as one JSON object (see file comment for the
+/// determinism contract).
+std::string profileToJson(const RegionProfile &P, const ParallelismPlan &Plan);
+
+} // namespace pst
+
+#endif // PST_PROF_PROFILEREPORT_H

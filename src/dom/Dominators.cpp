@@ -147,7 +147,7 @@ private:
 
 } // namespace
 
-DomTree DomTree::buildLengauerTarjan(const Cfg &G) {
+template <class GraphT> DomTree DomTree::buildLengauerTarjanImpl(const GraphT &G) {
   DomTree T;
   T.Root = G.entry();
   uint32_t N = G.numNodes();
@@ -205,6 +205,14 @@ DomTree DomTree::buildLengauerTarjan(const Cfg &G) {
   T.Idom[T.Root] = InvalidNode;
   T.finalize();
   return T;
+}
+
+DomTree DomTree::buildLengauerTarjan(const Cfg &G) {
+  return buildLengauerTarjanImpl(G);
+}
+
+DomTree DomTree::buildLengauerTarjan(const CfgView &V) {
+  return buildLengauerTarjanImpl(V);
 }
 
 DomTree DomTree::buildPostDom(const Cfg &G) {

@@ -11,7 +11,11 @@
 
 using namespace pst;
 
-IntervalPartition pst::computeIntervals(const Cfg &G) {
+namespace {
+
+/// Shared kernel of the Cfg and CfgView overloads; both traverse the same
+/// edge lists in the same order, so the partitions come out identical.
+template <class GraphT> IntervalPartition computeIntervalsImpl(const GraphT &G) {
   IntervalPartition P;
   uint32_t N = G.numNodes();
   P.IntervalOf.assign(N, UINT32_MAX);
@@ -71,6 +75,16 @@ IntervalPartition pst::computeIntervals(const Cfg &G) {
       }
   }
   return P;
+}
+
+} // namespace
+
+IntervalPartition pst::computeIntervals(const Cfg &G) {
+  return computeIntervalsImpl(G);
+}
+
+IntervalPartition pst::computeIntervals(const CfgView &V) {
+  return computeIntervalsImpl(V);
 }
 
 Cfg pst::derivedGraph(const Cfg &G, const IntervalPartition &P) {

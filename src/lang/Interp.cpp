@@ -267,10 +267,12 @@ ExecResult pst::runAst(const Function &F, const std::vector<int64_t> &Args,
 
 CfgExecResult pst::runLowered(const LoweredFunction &F,
                               const std::vector<int64_t> &Args,
-                              uint64_t MaxSteps) {
+                              uint64_t MaxSteps, bool CountEdges) {
   const Cfg &G = F.Graph;
   CfgExecResult R;
   R.BlockCounts.assign(G.numNodes(), 0);
+  if (CountEdges)
+    R.EdgeCounts.assign(G.numEdges(), 0);
 
   std::vector<int64_t> Env(F.numVars(), 0);
   std::map<std::string, VarId> ByName;
@@ -341,6 +343,9 @@ CfgExecResult pst::runLowered(const LoweredFunction &F,
     assert(!Succs.empty() && "non-exit block without successors");
     if (TakenSucc >= Succs.size())
       TakenSucc = static_cast<uint32_t>(Succs.size()) - 1;
-    Cur = G.target(Succs[TakenSucc]);
+    EdgeId Taken = Succs[TakenSucc];
+    if (CountEdges)
+      ++R.EdgeCounts[Taken];
+    Cur = G.target(Taken);
   }
 }

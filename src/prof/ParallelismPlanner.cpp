@@ -1,0 +1,71 @@
+//===- ParallelismPlanner.cpp - Work/span region planner ------------------------===//
+//
+// Part of the PST library (see ParallelismPlanner.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/prof/ParallelismPlanner.h"
+
+#include "pst/obs/ScopedTimer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pst;
+
+ParallelismPlan pst::planParallelism(const RegionProfile &P,
+                                     const PlannerOptions &Opts) {
+  assert(P.finalized() && "finalize() the profile before planning");
+  PST_SPAN("prof.plan");
+
+  const ProgramStructureTree &T = P.pst();
+  ParallelismPlan Plan;
+  Plan.TotalWork = P.totalWork();
+
+  std::vector<PlanEntry> Candidates;
+  for (RegionId R = 1; R < T.numRegions(); ++R) {
+    const RegionDynamics &D = P.dynamics(R);
+    if (!D.Entries || !Plan.TotalWork)
+      continue;
+    PlanEntry E;
+    E.Region = R;
+    E.Kind = D.Kind;
+    E.Work = D.InclusiveCost;
+    E.Entries = D.Entries;
+    E.Coverage = static_cast<double>(D.InclusiveCost) /
+                 static_cast<double>(Plan.TotalWork);
+    E.SelfParallelism = D.selfParallelism();
+    E.MeanIterations = D.meanIterations();
+    E.Benefit = E.Coverage * (1.0 - 1.0 / E.SelfParallelism);
+    if (E.Coverage < Opts.MinCoverage ||
+        E.SelfParallelism < Opts.MinSelfParallelism)
+      continue;
+    Candidates.push_back(E);
+  }
+  Plan.CandidatesConsidered = static_cast<uint32_t>(Candidates.size());
+  PST_COUNTER("prof.plan.candidates", Candidates.size());
+
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [](const PlanEntry &A, const PlanEntry &B) {
+                     if (A.Benefit != B.Benefit)
+                       return A.Benefit > B.Benefit;
+                     return A.Region < B.Region;
+                   });
+
+  // Greedy admission: a region may not nest inside (or around) any region
+  // already in the plan, so the plan's inclusive costs are disjoint.
+  for (const PlanEntry &E : Candidates) {
+    if (Plan.Entries.size() >= Opts.MaxPlanEntries)
+      break;
+    bool Overlaps = false;
+    for (const PlanEntry &Sel : Plan.Entries)
+      if (T.contains(Sel.Region, E.Region) || T.contains(E.Region, Sel.Region)) {
+        Overlaps = true;
+        break;
+      }
+    if (!Overlaps)
+      Plan.Entries.push_back(E);
+  }
+  PST_COUNTER("prof.plan.selected", Plan.Entries.size());
+  return Plan;
+}

@@ -1,0 +1,161 @@
+//===- ProfileReport.cpp - Profile & plan reporting -----------------------------===//
+//
+// Part of the PST library (see ProfileReport.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/prof/ProfileReport.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+using namespace pst;
+
+namespace {
+
+/// Fixed-format double rendering: the one code path every derived ratio
+/// goes through, so equal profiles serialize to equal bytes.
+std::string fmtDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+std::string escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+/// "entry->exit" label of a region's boundary, e.g. "b1->b2, b7->b8".
+std::string regionLabel(const Cfg &G, const ProgramStructureTree &T,
+                        RegionId R) {
+  if (R == T.root())
+    return "procedure";
+  const SeseRegion &Reg = T.region(R);
+  std::ostringstream OS;
+  OS << "region " << R << " (" << G.nodeName(G.source(Reg.EntryEdge)) << "->"
+     << G.nodeName(G.target(Reg.EntryEdge)) << ", "
+     << G.nodeName(G.source(Reg.ExitEdge)) << "->"
+     << G.nodeName(G.target(Reg.ExitEdge)) << ")";
+  return OS.str();
+}
+
+} // namespace
+
+std::string pst::formatRegionProfile(const RegionProfile &P) {
+  assert(P.finalized());
+  const ProgramStructureTree &T = P.pst();
+  const Cfg &G = P.function().Graph;
+  std::ostringstream OS;
+  OS << "profile of " << P.function().Name << ": runs=" << P.numRuns()
+     << " work=" << P.totalWork() << "\n";
+  std::vector<std::pair<RegionId, uint32_t>> Stack{{T.root(), 0}};
+  while (!Stack.empty()) {
+    auto [R, Indent] = Stack.back();
+    Stack.pop_back();
+    const RegionDynamics &D = P.dynamics(R);
+    OS << std::string(Indent * 2, ' ') << regionLabel(G, T, R) << " "
+       << regionKindName(D.Kind) << ": entries=" << D.Entries
+       << " self=" << D.SelfCost << " inclusive=" << D.InclusiveCost;
+    if (P.totalWork())
+      OS << " coverage=" << fmtDouble(static_cast<double>(D.InclusiveCost) /
+                                      static_cast<double>(P.totalWork()));
+    if (D.Cyclic)
+      OS << " iterations=" << D.Iterations
+         << " iters/entry=" << fmtDouble(D.meanIterations());
+    OS << " span/entry=" << fmtDouble(D.SpanPerEntry)
+       << " selfpar=" << fmtDouble(D.selfParallelism()) << "\n";
+    const auto Kids = T.children(R);
+    for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
+      Stack.emplace_back(*It, Indent + 1);
+  }
+  return OS.str();
+}
+
+std::string pst::formatParallelismPlan(const RegionProfile &P,
+                                       const ParallelismPlan &Plan) {
+  const ProgramStructureTree &T = P.pst();
+  const Cfg &G = P.function().Graph;
+  std::ostringstream OS;
+  OS << "parallelism plan for " << P.function().Name
+     << ": candidates=" << Plan.CandidatesConsidered
+     << " selected=" << Plan.Entries.size() << " work=" << Plan.TotalWork
+     << "\n";
+  if (Plan.Entries.empty()) {
+    OS << "  (no profitable regions)\n";
+    return OS.str();
+  }
+  uint32_t Rank = 1;
+  for (const PlanEntry &E : Plan.Entries) {
+    OS << "  #" << Rank++ << " " << regionLabel(G, T, E.Region) << " "
+       << regionKindName(E.Kind) << ": coverage=" << fmtDouble(E.Coverage)
+       << " selfpar=" << fmtDouble(E.SelfParallelism);
+    if (E.MeanIterations > 0)
+      OS << " iters/entry=" << fmtDouble(E.MeanIterations);
+    OS << " benefit=" << fmtDouble(E.Benefit) << "\n";
+  }
+  return OS.str();
+}
+
+std::string pst::profileToJson(const RegionProfile &P,
+                               const ParallelismPlan &Plan) {
+  assert(P.finalized());
+  const ProgramStructureTree &T = P.pst();
+  const Cfg &G = P.function().Graph;
+  std::ostringstream OS;
+  OS << "{\"function\":\"" << escapeJson(P.function().Name) << "\""
+     << ",\"runs\":" << P.numRuns() << ",\"total_work\":" << P.totalWork()
+     << ",\"regions\":[";
+  for (RegionId R = 0; R < T.numRegions(); ++R) {
+    const RegionDynamics &D = P.dynamics(R);
+    if (R)
+      OS << ",";
+    OS << "{\"id\":" << R << ",\"label\":\"" << escapeJson(regionLabel(G, T, R))
+       << "\",\"kind\":\"" << regionKindName(D.Kind) << "\",\"parent\":";
+    if (R == T.root())
+      OS << -1;
+    else
+      OS << T.region(R).Parent;
+    OS << ",\"depth\":" << T.region(R).Depth << ",\"entries\":" << D.Entries
+       << ",\"exits\":" << D.Exits << ",\"self_cost\":" << D.SelfCost
+       << ",\"inclusive_cost\":" << D.InclusiveCost << ",\"coverage\":"
+       << fmtDouble(P.totalWork()
+                        ? static_cast<double>(D.InclusiveCost) /
+                              static_cast<double>(P.totalWork())
+                        : 0.0)
+       << ",\"cyclic\":" << (D.Cyclic ? "true" : "false")
+       << ",\"iterations\":" << D.Iterations
+       << ",\"iters_per_entry\":" << fmtDouble(D.meanIterations())
+       << ",\"span_per_entry\":" << fmtDouble(D.SpanPerEntry)
+       << ",\"self_parallelism\":" << fmtDouble(D.selfParallelism());
+    if (D.RunIterations.Count)
+      OS << ",\"trip_stats\":{\"runs\":" << D.RunIterations.Count
+         << ",\"min\":" << D.RunIterations.Min
+         << ",\"max\":" << D.RunIterations.Max
+         << ",\"mean\":" << fmtDouble(D.RunIterations.mean()) << "}";
+    OS << "}";
+  }
+  OS << "],\"plan\":{\"total_work\":" << Plan.TotalWork
+     << ",\"candidates\":" << Plan.CandidatesConsidered << ",\"entries\":[";
+  for (size_t I = 0; I < Plan.Entries.size(); ++I) {
+    const PlanEntry &E = Plan.Entries[I];
+    if (I)
+      OS << ",";
+    OS << "{\"rank\":" << (I + 1) << ",\"region\":" << E.Region
+       << ",\"kind\":\"" << regionKindName(E.Kind) << "\",\"work\":" << E.Work
+       << ",\"entries\":" << E.Entries
+       << ",\"coverage\":" << fmtDouble(E.Coverage)
+       << ",\"self_parallelism\":" << fmtDouble(E.SelfParallelism)
+       << ",\"iters_per_entry\":" << fmtDouble(E.MeanIterations)
+       << ",\"benefit\":" << fmtDouble(E.Benefit) << "}";
+  }
+  OS << "]}}";
+  return OS.str();
+}

@@ -30,7 +30,9 @@
 #include "pst/dataflow/Qpg.h"
 #include "pst/dataflow/Seg.h"
 #include "pst/dom/Dominators.h"
+#include "pst/dom/LoopInfo.h"
 #include "pst/graph/CfgAlgorithms.h"
+#include "pst/graph/Intervals.h"
 #include "pst/ssa/PhiPlacement.h"
 #include "pst/workload/CfgGenerators.h"
 #include "pst/workload/Corpus.h"
@@ -281,6 +283,50 @@ TEST(CfgViewByteIdentity, DataflowAndSsaStagesMatchLegacyOnFullCorpus) {
     PhiPlacement PpL = placePhisPst(C.Fn, T);
     PhiPlacement PpV = placePhisPst(C.Fn, V, T);
     ASSERT_EQ(PpL.PhiBlocks, PpV.PhiBlocks) << C.Fn.Name << " pst phis";
+  }
+}
+
+TEST(CfgViewByteIdentity, DomLoopsIntervalsMatchLegacyOnFullCorpus) {
+  std::vector<CorpusFunction> Corpus = generatePaperCorpus(/*Seed=*/1994);
+  CfgViewScratch VS;
+
+  for (const CorpusFunction &C : Corpus) {
+    const Cfg &G = C.Fn.Graph;
+    CfgView V = CfgView::build(G, VS);
+
+    // Lengauer-Tarjan: bit-identical idom arrays, not just the same
+    // dominance relation.
+    DomTree LtL = DomTree::buildLengauerTarjan(G);
+    DomTree LtV = DomTree::buildLengauerTarjan(V);
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      ASSERT_EQ(LtL.idom(N), LtV.idom(N)) << C.Fn.Name << " node " << N;
+
+    // Natural loops: same loop ids, headers, backedges, members, nesting
+    // and per-node innermost-loop assignment.
+    LoopInfo LiL(G, LtL);
+    LoopInfo LiV(V, LtV);
+    ASSERT_EQ(LiL.numLoops(), LiV.numLoops()) << C.Fn.Name;
+    for (LoopId L = 0; L < LiL.numLoops(); ++L) {
+      ASSERT_EQ(LiL.loop(L).Header, LiV.loop(L).Header) << C.Fn.Name;
+      ASSERT_EQ(LiL.loop(L).Backedges, LiV.loop(L).Backedges) << C.Fn.Name;
+      ASSERT_EQ(LiL.loop(L).Nodes, LiV.loop(L).Nodes) << C.Fn.Name;
+      ASSERT_EQ(LiL.loop(L).Parent, LiV.loop(L).Parent) << C.Fn.Name;
+      ASSERT_EQ(LiL.loop(L).Children, LiV.loop(L).Children) << C.Fn.Name;
+      ASSERT_EQ(LiL.loop(L).Depth, LiV.loop(L).Depth) << C.Fn.Name;
+    }
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      ASSERT_EQ(LiL.loopOf(N), LiV.loopOf(N)) << C.Fn.Name << " node " << N;
+    ASSERT_EQ(LiL.irreducibleEdges(), LiV.irreducibleEdges()) << C.Fn.Name;
+
+    // Intervals: same partition in the same discovery order.
+    IntervalPartition IpL = computeIntervals(G);
+    IntervalPartition IpV = computeIntervals(V);
+    ASSERT_EQ(IpL.IntervalOf, IpV.IntervalOf) << C.Fn.Name;
+    ASSERT_EQ(IpL.Intervals.size(), IpV.Intervals.size()) << C.Fn.Name;
+    for (size_t I = 0; I < IpL.Intervals.size(); ++I) {
+      ASSERT_EQ(IpL.Intervals[I].Header, IpV.Intervals[I].Header) << C.Fn.Name;
+      ASSERT_EQ(IpL.Intervals[I].Nodes, IpV.Intervals[I].Nodes) << C.Fn.Name;
+    }
   }
 }
 
