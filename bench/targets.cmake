@@ -35,6 +35,11 @@ target_link_libraries(time_batch_throughput PRIVATE pst_runtime)
 pst_add_bench(time_region_profile)
 target_link_libraries(time_region_profile PRIVATE pst_prof)
 
+# Frozen corpus image cold start (plain bench: custom JSON + a byte-identity
+# cross-check between mapped and freshly built PSTs).
+pst_add_bench(time_corpus_image)
+target_link_libraries(time_corpus_image PRIVATE pst_runtime pst_image)
+
 # Timing comparisons (google-benchmark).
 pst_add_timing_bench(time_cycleequiv_vs_domtree)
 pst_add_timing_bench(time_control_regions)

@@ -18,6 +18,15 @@
 //                     dump (TelemetryRegistry::toJson) after the analyses
 //     --trace-out <f> enable telemetry span retention; write chrome-trace
 //                     JSON to <f> (load it in chrome://tracing or Perfetto)
+//     --save-image <f>  also freeze all input functions (CSR CFGs + PSTs)
+//                     into a corpus image at <f> (see pst/image)
+//     --load-image <f>  take input from a corpus image instead of source:
+//                     checksums are verified, PSTs come straight off the
+//                     mapped arrays, and the other analyses run on
+//                     materialized CFGs — output matches the direct path
+//                     byte for byte
+//     --image-info <f>  dump a corpus image's header, section table and
+//                     per-section checksum status, then exit
 //
 // Without an input file, a built-in demo program is analyzed.
 //
@@ -31,6 +40,7 @@
 #include "pst/graph/CfgAlgorithms.h"
 #include "pst/graph/CfgIO.h"
 #include "pst/graph/Intervals.h"
+#include "pst/image/CorpusImage.h"
 #include "pst/lang/Lower.h"
 #include "pst/obs/Telemetry.h"
 #include "pst/obs/TraceWriter.h"
@@ -52,6 +62,7 @@ struct Options {
   bool Stats = false;
   std::string InputFile;
   std::string TraceFile;
+  std::string SaveImage, LoadImage, ImageInfo;
 };
 
 const char *DemoSource = R"(
@@ -66,11 +77,15 @@ func demo(n) {
 }
 )";
 
-void analyzeCfg(const std::string &Name, const Cfg &G, const Options &Opt) {
+/// \p MappedPst, when non-null, is a frozen PST from a corpus image: it is
+/// used as-is (zero build) instead of rebuilding from \p G.
+void analyzeCfg(const std::string &Name, const Cfg &G, const Options &Opt,
+                const ProgramStructureTree *MappedPst = nullptr) {
   std::cout << "\n======== " << Name << " (" << G.numNodes() << " nodes, "
             << G.numEdges() << " edges) ========\n";
 
-  ProgramStructureTree T = ProgramStructureTree::build(G);
+  ProgramStructureTree T =
+      MappedPst ? *MappedPst : ProgramStructureTree::build(G);
   if (Opt.Pst) {
     std::cout << "\n-- program structure tree --\n"
               << formatPst(G, T);
@@ -139,6 +154,48 @@ void analyzeCfg(const std::string &Name, const Cfg &G, const Options &Opt) {
   }
 }
 
+/// Handles --image-info: header, section table, per-section checksum
+/// status.
+int printImageInfo(const std::string &Path) {
+  std::string Error;
+  CorpusImage Img = CorpusImage::map(Path, &Error);
+  if (!Img.valid()) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  const image::ImageHeader &H = Img.header();
+  std::cout << "corpus image " << Path << "\n"
+            << "  format version " << H.Version << ", " << H.FileBytes
+            << " bytes, " << H.NumFunctions << " function(s), "
+            << H.SectionCount << " sections\n\n"
+            << "  section        offset        bytes  checksum\n";
+  for (uint32_t K = 0; K < Img.numSections(); ++K) {
+    const image::SectionDesc &D = Img.section(K);
+    char Line[128];
+    std::snprintf(Line, sizeof(Line), "  %-12s %8llu %12llu  %s",
+                  image::sectionName(image::SectionKind(K)),
+                  static_cast<unsigned long long>(D.Offset),
+                  static_cast<unsigned long long>(D.Bytes),
+                  Img.verifySection(K) ? "ok" : "MISMATCH");
+    std::cout << Line << "\n";
+  }
+  return 0;
+}
+
+/// Handles --save-image: freezes \p Fns (with \p Names) into one image.
+int saveImage(const std::string &Path, std::span<const Cfg *const> Fns,
+              std::span<const std::string> Names) {
+  std::vector<uint8_t> Bytes = buildCorpusImage(Fns, Names);
+  std::string Error;
+  if (!writeImageFile(Path, Bytes, &Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote corpus image " << Path << " (" << Fns.size()
+            << " function(s), " << Bytes.size() << " bytes)\n";
+  return 0;
+}
+
 /// Emits the requested telemetry reports after all analyses ran.
 int finishTelemetry(const Options &Opt) {
   if (Opt.Stats) {
@@ -188,6 +245,20 @@ int main(int Argc, char **Argv) {
       }
       Opt.TraceFile = Argv[++I];
     }
+    else if (A == "--save-image" || A == "--load-image" ||
+             A == "--image-info") {
+      if (I + 1 >= Argc) {
+        std::cerr << "error: " << A << " needs a file argument\n";
+        return 1;
+      }
+      std::string F = Argv[++I];
+      if (A == "--save-image")
+        Opt.SaveImage = F;
+      else if (A == "--load-image")
+        Opt.LoadImage = F;
+      else
+        Opt.ImageInfo = F;
+    }
     else if (A == "--all")
       Opt.Pst = Opt.Regions = Opt.Dom = Opt.Loops = Opt.Intervals = true;
     else if (!A.empty() && A[0] == '-') {
@@ -210,6 +281,28 @@ int main(int Argc, char **Argv) {
     Telemetry::setEnabled(true);
     if (!Opt.TraceFile.empty())
       Telemetry::setTraceEnabled(true);
+  }
+
+  if (!Opt.ImageInfo.empty())
+    return printImageInfo(Opt.ImageInfo);
+
+  if (!Opt.LoadImage.empty()) {
+    std::string Error;
+    CorpusImage Img = CorpusImage::map(Opt.LoadImage, &Error);
+    if (!Img.valid()) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    if (!Img.verify(&Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    for (uint64_t I = 0; I < Img.numFunctions(); ++I) {
+      Cfg G = Img.materializeCfg(I);
+      ProgramStructureTree T = Img.pst(I);
+      analyzeCfg(std::string(Img.functionName(I)), G, Opt, &T);
+    }
+    return finishTelemetry(Opt);
   }
 
   std::string Input;
@@ -240,6 +333,12 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     analyzeCfg("cfg", *G, Opt);
+    if (!Opt.SaveImage.empty()) {
+      const Cfg *Fn = &*G;
+      std::string Name = "cfg";
+      if (int Rc = saveImage(Opt.SaveImage, {&Fn, 1}, {&Name, 1}))
+        return Rc;
+    }
     return finishTelemetry(Opt);
   }
 
@@ -252,5 +351,15 @@ int main(int Argc, char **Argv) {
   }
   for (const LoweredFunction &F : *Fns)
     analyzeCfg(F.Name, F.Graph, Opt);
+  if (!Opt.SaveImage.empty()) {
+    std::vector<const Cfg *> Graphs;
+    std::vector<std::string> Names;
+    for (const LoweredFunction &F : *Fns) {
+      Graphs.push_back(&F.Graph);
+      Names.push_back(F.Name);
+    }
+    if (int Rc = saveImage(Opt.SaveImage, Graphs, Names))
+      return Rc;
+  }
   return finishTelemetry(Opt);
 }

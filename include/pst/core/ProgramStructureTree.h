@@ -85,8 +85,26 @@ struct SeseRegion {
 ///
 /// Region 0 is always a synthetic root that represents the whole procedure
 /// (it has no entry/exit edges); real canonical regions are 1..numRegions-1.
+///
+/// Storage comes in two flavors behind one read API. A *built* tree owns
+/// its arrays (the vectors below) and every accessor reads them through
+/// bound spans. An *adopted* tree (\c adoptExternal) points the same spans
+/// at externally-owned flat arrays — in practice slices of a mapped corpus
+/// image (pst/image) — so a mapped PST answers every query with zero copy
+/// and zero allocation; it is valid only while that storage lives, and its
+/// \c cycleEquiv() is empty (the classes are construction input, not a
+/// query surface, and are not serialized).
 class ProgramStructureTree {
 public:
+  ProgramStructureTree() = default;
+  /// Copying rebinds the span table: an owning tree's copy owns fresh
+  /// arrays; an adopted tree's copy aliases the same external storage.
+  ProgramStructureTree(const ProgramStructureTree &O);
+  ProgramStructureTree &operator=(const ProgramStructureTree &O);
+  /// Moves transfer vector buffers, so bound spans stay valid as-is.
+  ProgramStructureTree(ProgramStructureTree &&O) noexcept = default;
+  ProgramStructureTree &operator=(ProgramStructureTree &&O) noexcept = default;
+
   /// Builds the PST of \p G (which must satisfy \c validateCfg) in O(N + E).
   static ProgramStructureTree build(const Cfg &G);
 
@@ -120,39 +138,55 @@ public:
                                                   CycleEquivResult CE,
                                                   PstBuildScratch &Scratch);
 
+  /// Wraps externally-owned arrays (with exactly the layout a built tree's
+  /// arrays have) as a tree, with no copy or validation. The frozen-PST
+  /// entry point of the corpus image: \c CorpusImage::pst returns one of
+  /// these over its mapped sections, and every existing consumer that
+  /// takes a \c const \c ProgramStructureTree& runs on it unmodified.
+  static ProgramStructureTree
+  adoptExternal(std::span<const SeseRegion> Regions,
+                std::span<const RegionId> NodeRegion,
+                std::span<const RegionId> EdgeRegion,
+                std::span<const RegionId> EntryOf,
+                std::span<const RegionId> ExitOf,
+                std::span<const uint32_t> ChildOff,
+                std::span<const RegionId> ChildVal,
+                std::span<const uint32_t> ImmOff,
+                std::span<const NodeId> ImmVal);
+
   RegionId root() const { return 0; }
-  uint32_t numRegions() const { return static_cast<uint32_t>(Regions.size()); }
+  uint32_t numRegions() const { return static_cast<uint32_t>(RegionsA.size()); }
   /// Number of real canonical regions (excludes the synthetic root).
   uint32_t numCanonicalRegions() const { return numRegions() - 1; }
 
-  const SeseRegion &region(RegionId R) const { return Regions[R]; }
+  const SeseRegion &region(RegionId R) const { return RegionsA[R]; }
 
   /// Innermost region containing node \p N (Definition 6); never invalid
   /// (the root contains everything).
-  RegionId regionOfNode(NodeId N) const { return NodeRegion[N]; }
+  RegionId regionOfNode(NodeId N) const { return NodeRegionA[N]; }
 
   /// Innermost region whose body contains edge \p E. By convention an entry
   /// edge belongs to the region it opens and an exit edge to the region
   /// that encloses the boundary (its region's parent, or the sequentially
   /// following region when the edge also opens one).
-  RegionId regionOfEdge(EdgeId E) const { return EdgeRegion[E]; }
+  RegionId regionOfEdge(EdgeId E) const { return EdgeRegionA[E]; }
 
   /// Region whose entry edge is \p E, or InvalidRegion.
-  RegionId regionEnteredBy(EdgeId E) const { return EntryOf[E]; }
+  RegionId regionEnteredBy(EdgeId E) const { return EntryOfA[E]; }
   /// Region whose exit edge is \p E, or InvalidRegion.
-  RegionId regionExitedBy(EdgeId E) const { return ExitOf[E]; }
+  RegionId regionExitedBy(EdgeId E) const { return ExitOfA[E]; }
 
   /// Immediately nested regions of \p R, in entry-edge traversal order.
   /// (A CSR segment of the tree-level child array; stable while the tree
   /// lives.)
   std::span<const RegionId> children(RegionId R) const {
-    return {ChildVal.data() + ChildOff[R], ChildVal.data() + ChildOff[R + 1]};
+    return ChildValA.subspan(ChildOffA[R], ChildOffA[R + 1] - ChildOffA[R]);
   }
 
   /// Nodes whose *innermost* region is \p R (i.e. excluding nodes hidden
   /// inside nested regions), in discovery order.
   std::span<const NodeId> immediateNodes(RegionId R) const {
-    return {ImmVal.data() + ImmOff[R], ImmVal.data() + ImmOff[R + 1]};
+    return ImmValA.subspan(ImmOffA[R], ImmOffA[R + 1] - ImmOffA[R]);
   }
 
   /// All nodes contained in \p R, including those of nested regions.
@@ -161,8 +195,30 @@ public:
   /// True if \p Inner is \p Outer or nested (transitively) inside it.
   bool contains(RegionId Outer, RegionId Inner) const;
 
+  /// \name Flat array access
+  /// The tree's whole arrays (the per-region accessors above read segments
+  /// of these). For bulk consumers — the corpus image serializer memcpys
+  /// them into its arena — and for whole-tree comparisons in tests.
+  /// @{
+  std::span<const SeseRegion> regionTable() const { return RegionsA; }
+  std::span<const RegionId> nodeRegionTable() const { return NodeRegionA; }
+  std::span<const RegionId> edgeRegionTable() const { return EdgeRegionA; }
+  std::span<const RegionId> entryOfTable() const { return EntryOfA; }
+  std::span<const RegionId> exitOfTable() const { return ExitOfA; }
+  std::span<const uint32_t> childOffTable() const { return ChildOffA; }
+  std::span<const RegionId> childValTable() const { return ChildValA; }
+  std::span<const uint32_t> immOffTable() const { return ImmOffA; }
+  std::span<const NodeId> immValTable() const { return ImmValA; }
+  /// @}
+
   /// The edge cycle equivalence classes the construction was based on.
+  /// Empty for adopted (mapped) trees: the classes are construction input,
+  /// not part of the serialized query surface.
   const CycleEquivResult &cycleEquiv() const { return CE; }
+
+  /// True if this tree aliases external storage (\c adoptExternal) rather
+  /// than owning its arrays.
+  bool isExternal() const { return External; }
 
 private:
   // Shared construction kernel for the Cfg and CfgView overloads; defined
@@ -170,6 +226,10 @@ private:
   template <class GraphT>
   static ProgramStructureTree buildImpl(const GraphT &G, CycleEquivResult CE,
                                         PstBuildScratch &S);
+
+  /// Points every accessor span at the owned vectors. Called once when a
+  /// build finishes and again whenever an owning tree is copied.
+  void bindOwned();
 
   std::vector<SeseRegion> Regions;
   std::vector<RegionId> NodeRegion;
@@ -183,6 +243,19 @@ private:
   std::vector<uint32_t> ImmOff;
   std::vector<NodeId> ImmVal;
   CycleEquivResult CE;
+
+  // The accessor table: spans over either the vectors above (owning trees)
+  // or external storage (adopted trees). Construction fills the vectors
+  // first and binds these once at the end.
+  std::span<const SeseRegion> RegionsA;
+  std::span<const RegionId> NodeRegionA;
+  std::span<const RegionId> EdgeRegionA;
+  std::span<const RegionId> EntryOfA, ExitOfA;
+  std::span<const uint32_t> ChildOffA;
+  std::span<const RegionId> ChildValA;
+  std::span<const uint32_t> ImmOffA;
+  std::span<const NodeId> ImmValA;
+  bool External = false;
 };
 
 } // namespace pst

@@ -84,6 +84,9 @@ Cfg simplifyCfg(const Cfg &G);
 /// with a unique predecessor) transformations. A flow graph is reducible iff
 /// these reduce it to a single node.
 bool isReducible(const Cfg &G);
+/// Same test over a frozen CSR view (identical verdict for a view of the
+/// same graph; pinned over the full paper corpus in CfgViewTest).
+bool isReducible(const CfgView &G);
 
 /// A sub-CFG cut out around a SESE region boundary.
 ///

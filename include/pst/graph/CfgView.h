@@ -81,6 +81,17 @@ public:
   /// O(N + E); allocation-free once \p S is warm.
   static CfgView build(const Cfg &G, CfgViewScratch &S);
 
+  /// Wraps eight externally-owned CSR arrays (e.g. slices of a mapped
+  /// corpus image, see pst/image) as a view, with no copy or validation.
+  /// The arrays must have exactly the layout \c build produces: offsets
+  /// sized \p N + 1, edge arrays sized \p E, per-node segments in
+  /// ascending edge-id order. Valid only while the backing storage lives.
+  static CfgView adopt(uint32_t N, uint32_t E, NodeId Entry, NodeId Exit,
+                       const uint32_t *SuccOff, const uint32_t *PredOff,
+                       const EdgeId *SuccEdge, const NodeId *SuccTo,
+                       const EdgeId *PredEdge, const NodeId *PredFrom,
+                       const NodeId *EdgeSrc, const NodeId *EdgeDst);
+
   uint32_t numNodes() const { return N; }
   uint32_t numEdges() const { return E; }
   NodeId entry() const { return EntryNode; }

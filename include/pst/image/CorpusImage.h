@@ -1,0 +1,322 @@
+//===- pst/image/CorpusImage.h - Frozen mmap-able corpus images -*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One contiguous, serializable arena holding the frozen CSR CFGs *and*
+/// PSTs of a whole corpus, so cold start is an mmap instead of a
+/// parse+lower+build pass over every function.
+///
+/// PR 5's \c CfgView proved that "build adjacency once, run everything on
+/// flat arrays" wins; the corpus image takes the same idea process-wide,
+/// following Kremlin's MemMapPool/MemMapAllocator idiom of pooled
+/// mmap-backed allocation. Every per-function array of the pipeline's two
+/// frozen products — the eight \c CfgView CSR arrays and the PST's
+/// Regions/NodeRegion/EdgeRegion/EntryOf/ExitOf/ChildOff/ChildVal/ImmOff/
+/// ImmVal — is concatenated into one shared global array, and a
+/// per-function offset table records where each function's slices start.
+/// Names and node labels ride along in a string table so mapped functions
+/// print identically to freshly parsed ones.
+///
+/// On-disk format (version 1), all fields little-endian on little-endian
+/// hosts (an endianness tag rejects foreign images):
+///
+///   ImageHeader                     magic, version, endian tag, sizes
+///   SectionDesc[NumSections]        kind, 64-bit offset/size, checksum
+///   section payloads                each 8-byte aligned in the file
+///
+/// Section offsets and sizes are 64-bit and every section starts 8-byte
+/// aligned, so million-function corpora with >4 GiB arrays are
+/// representable (the layout pass is pure arithmetic and unit-tested past
+/// the 32-bit boundary without materializing data). Per-section FNV-1a
+/// checksums make corruption detectable without re-deriving anything.
+///
+/// Mapping contract: \c CorpusImage::map validates structure (header,
+/// section table, per-function bounds) but does not touch the array
+/// payloads; \c verify() additionally checks every section checksum.
+/// \c cfg(i) / \c pst(i) return non-owning views (\c CfgView /
+/// \c ProgramStructureTree::adoptExternal) directly over the mapped bytes
+/// — zero parse, zero copy, zero allocation — valid only while the image
+/// is alive and unmoved. Every analysis overload that takes
+/// \c const CfgView& or \c const ProgramStructureTree& runs on them
+/// unmodified.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_IMAGE_CORPUSIMAGE_H
+#define PST_IMAGE_CORPUSIMAGE_H
+
+#include "pst/core/ProgramStructureTree.h"
+#include "pst/graph/Cfg.h"
+#include "pst/graph/CfgView.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pst {
+namespace image {
+
+/// First 8 bytes of every corpus image ("PSTIMG" + two format digits).
+inline constexpr char Magic[8] = {'P', 'S', 'T', 'I', 'M', 'G', '0', '1'};
+/// Bumped on any layout change; readers reject other versions.
+inline constexpr uint32_t FormatVersion = 1;
+/// Written as the native byte order; reads as 0x04030201 on a
+/// different-endian host, which is rejected (images are a same-arch cold
+/// start artifact, not an interchange format).
+inline constexpr uint32_t EndianTag = 0x01020304;
+/// Every section payload starts at a file offset that is a multiple of
+/// this, so mapped u64 arrays are naturally aligned.
+inline constexpr uint64_t SectionAlign = 8;
+
+/// The sections of a version-1 image, in file order. Per-function slices
+/// are element ranges inside these shared global arrays.
+enum class SectionKind : uint32_t {
+  FuncTable = 0, ///< FuncRecord per function (the offset table).
+  SuccOff,       ///< u32; per function N+1 local CSR offsets.
+  PredOff,       ///< u32; per function N+1 local CSR offsets.
+  SuccEdge,      ///< u32 (EdgeId); per function E entries.
+  SuccTo,        ///< u32 (NodeId); per function E entries.
+  PredEdge,      ///< u32 (EdgeId); per function E entries.
+  PredFrom,      ///< u32 (NodeId); per function E entries.
+  EdgeSrc,       ///< u32 (NodeId); per function E entries.
+  EdgeDst,       ///< u32 (NodeId); per function E entries.
+  Regions,       ///< SeseRegion (16 bytes); per function R entries.
+  NodeRegion,    ///< u32 (RegionId); per function N entries.
+  EdgeRegion,    ///< u32 (RegionId); per function E entries.
+  EntryOf,       ///< u32 (RegionId); per function E entries.
+  ExitOf,        ///< u32 (RegionId); per function E entries.
+  ChildOff,      ///< u32; per function R+1 local CSR offsets.
+  ChildVal,      ///< u32 (RegionId); per function R-1 entries.
+  ImmOff,        ///< u32; per function R+1 local CSR offsets.
+  ImmVal,        ///< u32 (NodeId); per function N entries.
+  NodeLabelOff,  ///< u64 byte offset into StrTab, per node.
+  StrTab,        ///< NUL-terminated names and labels.
+  NumKinds
+};
+
+inline constexpr uint32_t NumSections =
+    static_cast<uint32_t>(SectionKind::NumKinds);
+
+/// Human-readable section name ("SuccEdge", ...), for diagnostics and
+/// `pstool --image-info`.
+const char *sectionName(SectionKind K);
+
+/// Fixed-size file header. Trivially copyable; written/read by memcpy.
+struct ImageHeader {
+  char MagicBytes[8];
+  uint32_t Version = 0;
+  uint32_t Endian = 0;
+  uint64_t FileBytes = 0;    ///< Total file size; truncation check.
+  uint64_t NumFunctions = 0;
+  uint32_t SectionCount = 0;
+  uint32_t FuncRecordBytes = 0; ///< sizeof(FuncRecord) layout guard.
+  uint64_t Reserved = 0;
+};
+static_assert(sizeof(ImageHeader) == 48, "header layout is part of the format");
+
+/// One section-table entry.
+struct SectionDesc {
+  uint32_t Kind = 0;
+  uint32_t Reserved = 0;
+  uint64_t Offset = 0;   ///< File byte offset; multiple of SectionAlign.
+  uint64_t Bytes = 0;    ///< Payload byte size (unpadded).
+  uint64_t Checksum = 0; ///< FNV-1a 64 over the payload bytes.
+};
+static_assert(sizeof(SectionDesc) == 32, "section table layout is fixed");
+
+/// Per-function row of the offset table: element bases into the shared
+/// global arrays plus the function's scalar facts. All bases are 64-bit so
+/// corpora whose concatenated arrays pass 4 Gi elements stay representable.
+struct FuncRecord {
+  uint64_t NodeBase = 0;      ///< Into NodeRegion/ImmVal/NodeLabelOff.
+  uint64_t EdgeBase = 0;      ///< Into the six CSR edge arrays and EdgeRegion/EntryOf/ExitOf.
+  uint64_t CsrBase = 0;       ///< Into SuccOff/PredOff ((N+1)-sized rows).
+  uint64_t RegionBase = 0;    ///< Into Regions.
+  uint64_t RegionCsrBase = 0; ///< Into ChildOff/ImmOff ((R+1)-sized rows).
+  uint64_t ChildBase = 0;     ///< Into ChildVal ((R-1)-sized rows).
+  uint64_t NameOff = 0;       ///< Byte offset of the NUL-terminated name in StrTab.
+  uint32_t NumNodes = 0;
+  uint32_t NumEdges = 0;
+  uint32_t NumRegions = 0;
+  uint32_t Entry = 0;
+  uint32_t Exit = 0;
+  uint32_t Reserved = 0;
+};
+static_assert(sizeof(FuncRecord) == 80, "offset table layout is fixed");
+static_assert(sizeof(SeseRegion) == 16 &&
+                  std::is_trivially_copyable_v<SeseRegion>,
+              "SeseRegion is serialized by memcpy");
+
+/// FNV-1a 64-bit over \p Bytes bytes — the per-section checksum.
+uint64_t fnv1a(const void *Data, uint64_t Bytes);
+
+/// What the layout pass needs to know about one function.
+struct FunctionShape {
+  uint32_t NumNodes = 0;
+  uint32_t NumEdges = 0;
+  uint32_t NumRegions = 0;
+  uint32_t Entry = 0;
+  uint32_t Exit = 0;
+  /// Bytes this function contributes to StrTab: name + NUL plus one
+  /// NUL-terminated label per node.
+  uint64_t StrBytes = 0;
+};
+
+/// The computed file layout: the per-function offset table plus where each
+/// section lands in the file. Pure arithmetic over \c FunctionShape — no
+/// arrays are materialized, which is what makes >4 GiB layouts unit-testable.
+struct ImageLayout {
+  std::vector<FuncRecord> Funcs;
+  /// Payload byte size per section, indexed by SectionKind.
+  uint64_t SectionBytes[NumSections] = {};
+  /// File byte offset per section, each a multiple of SectionAlign.
+  uint64_t SectionOffset[NumSections] = {};
+  uint64_t FileBytes = 0;
+};
+
+/// The one offset-table fixup pass: prefix sums over the shapes, then the
+/// section table (header + section descriptors + aligned payloads).
+ImageLayout computeCorpusLayout(std::span<const FunctionShape> Shapes);
+
+} // namespace image
+
+/// Builds a corpus image arena in three phases so a thread pool can fan
+/// out the per-function work (BatchAnalyzer::buildImage does; the serial
+/// \c buildCorpusImage below drives the same phases inline):
+///
+///   1. setShape(I, ...)  per function, any thread, distinct I
+///   2. layout()          serial: the offset-table fixup pass
+///   3. fill(I, ...)      per function, any thread, distinct I
+///      finish()          serial: checksums + header; yields the bytes
+///
+/// Distinct functions write disjoint arena ranges, so phases 1 and 3 need
+/// no synchronization beyond the caller's fork/join.
+class CorpusImageBuilder {
+public:
+  explicit CorpusImageBuilder(size_t NumFunctions);
+
+  /// Records function \p I's shape (counts, entry/exit, string bytes).
+  /// \p T must be the PST of \p G.
+  void setShape(size_t I, const Cfg &G, const ProgramStructureTree &T,
+                std::string_view Name = {});
+
+  /// Computes the global layout from the recorded shapes and allocates the
+  /// arena. Must run after every setShape and before any fill.
+  void layout();
+
+  /// Copies function \p I's arrays into its arena slices. \p V must be a
+  /// view of \p G and \p T its PST; \p Name must match setShape's.
+  void fill(size_t I, const Cfg &G, const CfgView &V,
+            const ProgramStructureTree &T, std::string_view Name = {});
+
+  /// Computes section checksums, writes header and section table, and
+  /// returns the complete image bytes. The builder is spent afterwards.
+  std::vector<uint8_t> finish();
+
+  const image::ImageLayout &imageLayout() const { return Layout; }
+
+private:
+  uint8_t *sectionData(image::SectionKind K);
+
+  std::vector<image::FunctionShape> Shapes;
+  image::ImageLayout Layout;
+  std::vector<uint8_t> Arena;
+  bool LaidOut = false;
+};
+
+/// A mapped (or memory-backed) corpus image. Move-only; unmaps on
+/// destruction. All accessors require \c valid().
+class CorpusImage {
+public:
+  CorpusImage() = default;
+  CorpusImage(CorpusImage &&O) noexcept;
+  CorpusImage &operator=(CorpusImage &&O) noexcept;
+  CorpusImage(const CorpusImage &) = delete;
+  CorpusImage &operator=(const CorpusImage &) = delete;
+  ~CorpusImage();
+
+  /// Maps \p Path read-only and validates its structure (header fields,
+  /// section table, per-function offset bounds) without touching the array
+  /// payloads. On failure returns an invalid image and, if \p Error is
+  /// non-null, a diagnostic ("truncated...", "bad magic...", ...).
+  static CorpusImage map(const std::string &Path,
+                         std::string *Error = nullptr);
+
+  /// As \c map over an in-memory byte buffer (takes ownership). The
+  /// builder's output can be opened directly without a file round trip.
+  static CorpusImage fromBytes(std::vector<uint8_t> Bytes,
+                               std::string *Error = nullptr);
+
+  bool valid() const { return Base != nullptr; }
+  uint64_t numFunctions() const { return Hdr->NumFunctions; }
+  uint64_t fileBytes() const { return Hdr->FileBytes; }
+  const image::ImageHeader &header() const { return *Hdr; }
+  uint32_t numSections() const { return Hdr->SectionCount; }
+  const image::SectionDesc &section(uint32_t I) const { return Sections[I]; }
+
+  /// Recomputes section \p I's checksum against its descriptor.
+  bool verifySection(uint32_t I) const;
+
+  /// Recomputes every section checksum (the full-integrity pass mapping
+  /// deliberately skips). On mismatch returns false and names the first
+  /// bad section in \p *Error.
+  bool verify(std::string *Error = nullptr) const;
+
+  const image::FuncRecord &func(uint64_t I) const { return Funcs[I]; }
+  std::string_view functionName(uint64_t I) const;
+
+  /// Zero-copy CSR view of function \p I over the mapped arrays; valid
+  /// while the image lives.
+  CfgView cfg(uint64_t I) const;
+
+  /// Zero-copy frozen PST of function \p I (\c adoptExternal over the
+  /// mapped arrays); valid while the image lives. Its cycleEquiv() is
+  /// empty — the classes are construction input, not serialized state.
+  ProgramStructureTree pst(uint64_t I) const;
+
+  /// Rebuilds a heap-owned \c Cfg (labels included) for function \p I —
+  /// the slow path for printers and round-trip rebuilds, not for analysis.
+  /// Adjacency-list order is reproduced exactly because edges are appended
+  /// in edge-id order, the only order \c Cfg construction ever produces.
+  Cfg materializeCfg(uint64_t I) const;
+
+private:
+  bool attach(std::string *Error);
+  void reset();
+  const uint8_t *sectionBase(image::SectionKind K) const;
+
+  const uint8_t *Base = nullptr;
+  uint64_t Bytes = 0;
+  /// fromBytes storage (empty when mmap-backed).
+  std::vector<uint8_t> OwnedBytes;
+  /// mmap storage (null when memory-backed).
+  void *MapAddr = nullptr;
+  size_t MapLen = 0;
+
+  const image::ImageHeader *Hdr = nullptr;
+  const image::SectionDesc *Sections = nullptr;
+  const image::FuncRecord *Funcs = nullptr;
+};
+
+/// Serial convenience: runs the full pipeline (CfgView + PST) per function
+/// and returns the finished image bytes. \p Names, when non-empty, must
+/// parallel \p Fns. The parallel twin is \c BatchAnalyzer::buildImage.
+std::vector<uint8_t>
+buildCorpusImage(std::span<const Cfg *const> Fns,
+                 std::span<const std::string> Names = {});
+
+/// Writes \p Bytes to \p Path atomically enough for tooling (truncate +
+/// write + close). Returns false with a diagnostic on I/O failure.
+bool writeImageFile(const std::string &Path, std::span<const uint8_t> Bytes,
+                    std::string *Error = nullptr);
+
+} // namespace pst
+
+#endif // PST_IMAGE_CORPUSIMAGE_H

@@ -27,11 +27,13 @@
 
 #include "pst/cdg/ControlRegions.h"
 #include "pst/core/ProgramStructureTree.h"
+#include "pst/image/CorpusImage.h"
 #include "pst/runtime/PstScratch.h"
 #include "pst/support/ThreadPool.h"
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace pst {
@@ -78,6 +80,25 @@ public:
   /// records); null pointers are not allowed.
   std::vector<FunctionAnalysis>
   analyzeCorpus(std::span<const Cfg *const> Fns);
+
+  /// Analyzes every function of a mapped corpus image. The PSTs come
+  /// straight off the image (zero parse, zero build — each result's \c Pst
+  /// adopts the mapped arrays, so results are valid only while \p Img
+  /// lives); only the control-region partition, which the image does not
+  /// store, is recomputed, over the image's zero-copy CSR views. Output is
+  /// byte-identical to running \c analyzeCorpus on the CFGs the image was
+  /// built from.
+  std::vector<FunctionAnalysis> analyzeCorpus(const CorpusImage &Img);
+
+  /// Builds a frozen corpus image of \p Fns in parallel: the per-function
+  /// pipeline (CfgView + PST) fans out across the pool twice — once to
+  /// record shapes, once to copy into the laid-out arena — around the one
+  /// serial offset-table fixup pass in between. \p Names, when non-empty,
+  /// must parallel \p Fns. Byte-identical output regardless of thread
+  /// count (workers write disjoint arena slices at layout-fixed offsets);
+  /// the serial twin is \c buildCorpusImage (pst/image).
+  std::vector<uint8_t> buildImage(std::span<const Cfg> Fns,
+                                  std::span<const std::string> Names = {});
 
   unsigned numWorkers() const { return Pool.numWorkers(); }
   const BatchOptions &options() const { return Opts; }

@@ -15,6 +15,69 @@
 
 using namespace pst;
 
+void ProgramStructureTree::bindOwned() {
+  RegionsA = Regions;
+  NodeRegionA = NodeRegion;
+  EdgeRegionA = EdgeRegion;
+  EntryOfA = EntryOf;
+  ExitOfA = ExitOf;
+  ChildOffA = ChildOff;
+  ChildValA = ChildVal;
+  ImmOffA = ImmOff;
+  ImmValA = ImmVal;
+  External = false;
+}
+
+ProgramStructureTree::ProgramStructureTree(const ProgramStructureTree &O)
+    : Regions(O.Regions), NodeRegion(O.NodeRegion), EdgeRegion(O.EdgeRegion),
+      EntryOf(O.EntryOf), ExitOf(O.ExitOf), ChildOff(O.ChildOff),
+      ChildVal(O.ChildVal), ImmOff(O.ImmOff), ImmVal(O.ImmVal), CE(O.CE) {
+  if (O.External) {
+    // Adopted tree: the copy aliases the same external storage.
+    RegionsA = O.RegionsA;
+    NodeRegionA = O.NodeRegionA;
+    EdgeRegionA = O.EdgeRegionA;
+    EntryOfA = O.EntryOfA;
+    ExitOfA = O.ExitOfA;
+    ChildOffA = O.ChildOffA;
+    ChildValA = O.ChildValA;
+    ImmOffA = O.ImmOffA;
+    ImmValA = O.ImmValA;
+    External = true;
+  } else {
+    bindOwned();
+  }
+}
+
+ProgramStructureTree &
+ProgramStructureTree::operator=(const ProgramStructureTree &O) {
+  if (this != &O) {
+    ProgramStructureTree Tmp(O);
+    *this = std::move(Tmp);
+  }
+  return *this;
+}
+
+ProgramStructureTree ProgramStructureTree::adoptExternal(
+    std::span<const SeseRegion> Regions, std::span<const RegionId> NodeRegion,
+    std::span<const RegionId> EdgeRegion, std::span<const RegionId> EntryOf,
+    std::span<const RegionId> ExitOf, std::span<const uint32_t> ChildOff,
+    std::span<const RegionId> ChildVal, std::span<const uint32_t> ImmOff,
+    std::span<const NodeId> ImmVal) {
+  ProgramStructureTree T;
+  T.RegionsA = Regions;
+  T.NodeRegionA = NodeRegion;
+  T.EdgeRegionA = EdgeRegion;
+  T.EntryOfA = EntryOf;
+  T.ExitOfA = ExitOf;
+  T.ChildOffA = ChildOff;
+  T.ChildValA = ChildVal;
+  T.ImmOffA = ImmOff;
+  T.ImmValA = ImmVal;
+  T.External = true;
+  return T;
+}
+
 ProgramStructureTree ProgramStructureTree::build(const Cfg &G) {
   PstBuildScratch Scratch;
   return build(G, Scratch);
@@ -204,6 +267,7 @@ ProgramStructureTree ProgramStructureTree::buildImpl(const GraphT &G,
   for (NodeId N = 0; N < G.numNodes(); ++N)
     T.ImmVal[S.RegionCursor[T.NodeRegion[N]]++] = N;
 
+  T.bindOwned();
   PST_COUNTER("pst.builds", 1);
   PST_COUNTER("pst.canonical_regions", T.numCanonicalRegions());
   PST_VALUE("pst.regions_per_build", T.numCanonicalRegions());
@@ -241,7 +305,7 @@ bool ProgramStructureTree::contains(RegionId Outer, RegionId Inner) const {
   while (Inner != InvalidRegion) {
     if (Inner == Outer)
       return true;
-    Inner = Regions[Inner].Parent;
+    Inner = RegionsA[Inner].Parent;
   }
   return false;
 }

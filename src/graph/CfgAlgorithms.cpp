@@ -236,7 +236,11 @@ Cfg pst::simplifyCfg(const Cfg &G) {
   return Out;
 }
 
-bool pst::isReducible(const Cfg &G) {
+namespace {
+
+// Shared by the Cfg and CfgView overloads: the test only reads
+// numNodes/numEdges/source/target/entry, which both graph types expose.
+template <class GraphT> bool isReducibleImpl(const GraphT &G) {
   // Work on an adjacency-set representation we can mutate. Parallel edges
   // collapse (they do not affect reducibility).
   uint32_t N = G.numNodes();
@@ -292,6 +296,12 @@ bool pst::isReducible(const Cfg &G) {
   }
   return AliveCount == 1;
 }
+
+} // namespace
+
+bool pst::isReducible(const Cfg &G) { return isReducibleImpl(G); }
+
+bool pst::isReducible(const CfgView &G) { return isReducibleImpl(G); }
 
 SubCfg pst::extractRegionSubCfg(const Cfg &G,
                                 const std::vector<NodeId> &BodyNodes,

@@ -62,4 +62,25 @@ CfgView CfgView::build(const Cfg &G, CfgViewScratch &S) {
   return V;
 }
 
+CfgView CfgView::adopt(uint32_t N, uint32_t E, NodeId Entry, NodeId Exit,
+                       const uint32_t *SuccOff, const uint32_t *PredOff,
+                       const EdgeId *SuccEdge, const NodeId *SuccTo,
+                       const EdgeId *PredEdge, const NodeId *PredFrom,
+                       const NodeId *EdgeSrc, const NodeId *EdgeDst) {
+  CfgView V;
+  V.N = N;
+  V.E = E;
+  V.EntryNode = Entry;
+  V.ExitNode = Exit;
+  V.SuccOffP = SuccOff;
+  V.PredOffP = PredOff;
+  V.SuccEdgeP = SuccEdge;
+  V.SuccToP = SuccTo;
+  V.PredEdgeP = PredEdge;
+  V.PredFromP = PredFrom;
+  V.EdgeSrcP = EdgeSrc;
+  V.EdgeDstP = EdgeDst;
+  return V;
+}
+
 } // namespace pst

@@ -1,0 +1,685 @@
+//===- image/CorpusImage.cpp - Frozen mmap-able corpus images -------------===//
+//
+// Part of the PST library (see include/pst/image/CorpusImage.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/image/CorpusImage.h"
+
+#include "pst/obs/ScopedTimer.h"
+#include "pst/obs/Telemetry.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PST_IMAGE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PST_IMAGE_HAVE_MMAP 0
+#endif
+
+using namespace pst;
+using namespace pst::image;
+
+//===----------------------------------------------------------------------===//
+// Format helpers
+//===----------------------------------------------------------------------===//
+
+const char *pst::image::sectionName(SectionKind K) {
+  switch (K) {
+  case SectionKind::FuncTable:
+    return "FuncTable";
+  case SectionKind::SuccOff:
+    return "SuccOff";
+  case SectionKind::PredOff:
+    return "PredOff";
+  case SectionKind::SuccEdge:
+    return "SuccEdge";
+  case SectionKind::SuccTo:
+    return "SuccTo";
+  case SectionKind::PredEdge:
+    return "PredEdge";
+  case SectionKind::PredFrom:
+    return "PredFrom";
+  case SectionKind::EdgeSrc:
+    return "EdgeSrc";
+  case SectionKind::EdgeDst:
+    return "EdgeDst";
+  case SectionKind::Regions:
+    return "Regions";
+  case SectionKind::NodeRegion:
+    return "NodeRegion";
+  case SectionKind::EdgeRegion:
+    return "EdgeRegion";
+  case SectionKind::EntryOf:
+    return "EntryOf";
+  case SectionKind::ExitOf:
+    return "ExitOf";
+  case SectionKind::ChildOff:
+    return "ChildOff";
+  case SectionKind::ChildVal:
+    return "ChildVal";
+  case SectionKind::ImmOff:
+    return "ImmOff";
+  case SectionKind::ImmVal:
+    return "ImmVal";
+  case SectionKind::NodeLabelOff:
+    return "NodeLabelOff";
+  case SectionKind::StrTab:
+    return "StrTab";
+  case SectionKind::NumKinds:
+    break;
+  }
+  return "<unknown>";
+}
+
+uint64_t pst::image::fnv1a(const void *Data, uint64_t Bytes) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (uint64_t I = 0; I < Bytes; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+namespace {
+
+uint64_t alignUp(uint64_t V) {
+  return (V + (SectionAlign - 1)) & ~(SectionAlign - 1);
+}
+
+/// Element size of each section's global array.
+uint64_t elemSize(SectionKind K) {
+  switch (K) {
+  case SectionKind::FuncTable:
+    return sizeof(FuncRecord);
+  case SectionKind::Regions:
+    return sizeof(SeseRegion);
+  case SectionKind::NodeLabelOff:
+    return sizeof(uint64_t);
+  case SectionKind::StrTab:
+    return 1;
+  default:
+    return sizeof(uint32_t);
+  }
+}
+
+/// Bytes of each function's NUL-terminated strings: name first, then one
+/// label per node, in node-id order.
+uint64_t strBytes(const Cfg &G, std::string_view Name) {
+  uint64_t B = Name.size() + 1;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    B += G.node(N).Label.size() + 1;
+  return B;
+}
+
+} // namespace
+
+ImageLayout
+pst::image::computeCorpusLayout(std::span<const FunctionShape> Shapes) {
+  ImageLayout L;
+  L.Funcs.resize(Shapes.size());
+
+  // The offset-table fixup pass: running element totals become per-function
+  // bases. All accumulators are 64-bit; per-function counts are 32-bit.
+  uint64_t Nodes = 0, Edges = 0, Csr = 0, Regions = 0, RegionCsr = 0,
+           Children = 0, Str = 0;
+  for (size_t I = 0; I < Shapes.size(); ++I) {
+    const FunctionShape &S = Shapes[I];
+    assert(S.NumRegions >= 1 && "a PST always has its synthetic root");
+    FuncRecord &F = L.Funcs[I];
+    F.NodeBase = Nodes;
+    F.EdgeBase = Edges;
+    F.CsrBase = Csr;
+    F.RegionBase = Regions;
+    F.RegionCsrBase = RegionCsr;
+    F.ChildBase = Children;
+    F.NameOff = Str;
+    F.NumNodes = S.NumNodes;
+    F.NumEdges = S.NumEdges;
+    F.NumRegions = S.NumRegions;
+    F.Entry = S.Entry;
+    F.Exit = S.Exit;
+    Nodes += S.NumNodes;
+    Edges += S.NumEdges;
+    Csr += uint64_t(S.NumNodes) + 1;
+    Regions += S.NumRegions;
+    RegionCsr += uint64_t(S.NumRegions) + 1;
+    Children += S.NumRegions - 1;
+    Str += S.StrBytes;
+  }
+
+  uint64_t (&SB)[NumSections] = L.SectionBytes;
+  SB[uint32_t(SectionKind::FuncTable)] = Shapes.size() * sizeof(FuncRecord);
+  SB[uint32_t(SectionKind::SuccOff)] = Csr * 4;
+  SB[uint32_t(SectionKind::PredOff)] = Csr * 4;
+  for (SectionKind K : {SectionKind::SuccEdge, SectionKind::SuccTo,
+                        SectionKind::PredEdge, SectionKind::PredFrom,
+                        SectionKind::EdgeSrc, SectionKind::EdgeDst,
+                        SectionKind::EdgeRegion, SectionKind::EntryOf,
+                        SectionKind::ExitOf})
+    SB[uint32_t(K)] = Edges * 4;
+  SB[uint32_t(SectionKind::Regions)] = Regions * sizeof(SeseRegion);
+  SB[uint32_t(SectionKind::NodeRegion)] = Nodes * 4;
+  SB[uint32_t(SectionKind::ChildOff)] = RegionCsr * 4;
+  SB[uint32_t(SectionKind::ChildVal)] = Children * 4;
+  SB[uint32_t(SectionKind::ImmOff)] = RegionCsr * 4;
+  SB[uint32_t(SectionKind::ImmVal)] = Nodes * 4;
+  SB[uint32_t(SectionKind::NodeLabelOff)] = Nodes * 8;
+  SB[uint32_t(SectionKind::StrTab)] = Str;
+
+  uint64_t Off =
+      alignUp(sizeof(ImageHeader) + uint64_t(NumSections) * sizeof(SectionDesc));
+  for (uint32_t K = 0; K < NumSections; ++K) {
+    L.SectionOffset[K] = Off;
+    Off = alignUp(Off + L.SectionBytes[K]);
+  }
+  L.FileBytes = Off;
+  return L;
+}
+
+//===----------------------------------------------------------------------===//
+// CorpusImageBuilder
+//===----------------------------------------------------------------------===//
+
+CorpusImageBuilder::CorpusImageBuilder(size_t NumFunctions)
+    : Shapes(NumFunctions) {}
+
+void CorpusImageBuilder::setShape(size_t I, const Cfg &G,
+                                  const ProgramStructureTree &T,
+                                  std::string_view Name) {
+  assert(I < Shapes.size() && !LaidOut && "setShape after layout");
+  FunctionShape &S = Shapes[I];
+  S.NumNodes = G.numNodes();
+  S.NumEdges = G.numEdges();
+  S.NumRegions = T.numRegions();
+  S.Entry = G.entry();
+  S.Exit = G.exit();
+  S.StrBytes = strBytes(G, Name);
+}
+
+void CorpusImageBuilder::layout() {
+  assert(!LaidOut && "layout runs once");
+  Layout = computeCorpusLayout(Shapes);
+  Arena.assign(Layout.FileBytes, 0); // Zeroed padding keeps output canonical.
+  // The offset table is pure layout output; write it now so fill() only
+  // touches per-function slices.
+  std::memcpy(sectionData(SectionKind::FuncTable), Layout.Funcs.data(),
+              Layout.Funcs.size() * sizeof(FuncRecord));
+  LaidOut = true;
+}
+
+uint8_t *CorpusImageBuilder::sectionData(SectionKind K) {
+  return Arena.data() + Layout.SectionOffset[uint32_t(K)];
+}
+
+void CorpusImageBuilder::fill(size_t I, const Cfg &G, const CfgView &V,
+                              const ProgramStructureTree &T,
+                              std::string_view Name) {
+  assert(LaidOut && "fill before layout");
+  const FuncRecord &F = Layout.Funcs[I];
+  const uint64_t N = F.NumNodes, E = F.NumEdges, R = F.NumRegions;
+  assert(V.numNodes() == N && V.numEdges() == E && T.numRegions() == R &&
+         "fill disagrees with setShape");
+
+  auto Copy32 = [&](SectionKind K, uint64_t Base, const uint32_t *Src,
+                    uint64_t Count) {
+    std::memcpy(sectionData(K) + Base * 4, Src, Count * 4);
+  };
+  Copy32(SectionKind::SuccOff, F.CsrBase, V.succOff(), N + 1);
+  Copy32(SectionKind::PredOff, F.CsrBase, V.predOff(), N + 1);
+  Copy32(SectionKind::SuccEdge, F.EdgeBase, V.succEdge(), E);
+  Copy32(SectionKind::SuccTo, F.EdgeBase, V.succTo(), E);
+  Copy32(SectionKind::PredEdge, F.EdgeBase, V.predEdge(), E);
+  Copy32(SectionKind::PredFrom, F.EdgeBase, V.predFrom(), E);
+  Copy32(SectionKind::EdgeSrc, F.EdgeBase, V.edgeSrc(), E);
+  Copy32(SectionKind::EdgeDst, F.EdgeBase, V.edgeDst(), E);
+
+  std::memcpy(sectionData(SectionKind::Regions) +
+                  F.RegionBase * sizeof(SeseRegion),
+              T.regionTable().data(), R * sizeof(SeseRegion));
+  Copy32(SectionKind::NodeRegion, F.NodeBase, T.nodeRegionTable().data(), N);
+  Copy32(SectionKind::EdgeRegion, F.EdgeBase, T.edgeRegionTable().data(), E);
+  Copy32(SectionKind::EntryOf, F.EdgeBase, T.entryOfTable().data(), E);
+  Copy32(SectionKind::ExitOf, F.EdgeBase, T.exitOfTable().data(), E);
+  Copy32(SectionKind::ChildOff, F.RegionCsrBase, T.childOffTable().data(),
+         R + 1);
+  Copy32(SectionKind::ChildVal, F.ChildBase, T.childValTable().data(), R - 1);
+  Copy32(SectionKind::ImmOff, F.RegionCsrBase, T.immOffTable().data(), R + 1);
+  Copy32(SectionKind::ImmVal, F.NodeBase, T.immValTable().data(), N);
+
+  char *Str = reinterpret_cast<char *>(sectionData(SectionKind::StrTab));
+  uint64_t *LabelOff =
+      reinterpret_cast<uint64_t *>(sectionData(SectionKind::NodeLabelOff));
+  uint64_t At = F.NameOff;
+  std::memcpy(Str + At, Name.data(), Name.size());
+  At += Name.size() + 1; // Arena is zeroed, so the NUL is already there.
+  for (NodeId Nd = 0; Nd < N; ++Nd) {
+    const std::string &L = G.node(Nd).Label;
+    LabelOff[F.NodeBase + Nd] = At;
+    std::memcpy(Str + At, L.data(), L.size());
+    At += L.size() + 1;
+  }
+  assert(At == F.NameOff + Shapes[I].StrBytes && "string bytes drifted");
+}
+
+std::vector<uint8_t> CorpusImageBuilder::finish() {
+  assert(LaidOut && "finish before layout");
+  SectionDesc *Sections =
+      reinterpret_cast<SectionDesc *>(Arena.data() + sizeof(ImageHeader));
+  for (uint32_t K = 0; K < NumSections; ++K) {
+    SectionDesc &D = Sections[K];
+    D.Kind = K;
+    D.Offset = Layout.SectionOffset[K];
+    D.Bytes = Layout.SectionBytes[K];
+    D.Checksum = fnv1a(Arena.data() + D.Offset, D.Bytes);
+  }
+
+  ImageHeader H;
+  std::memcpy(H.MagicBytes, Magic, sizeof(Magic));
+  H.Version = FormatVersion;
+  H.Endian = EndianTag;
+  H.FileBytes = Layout.FileBytes;
+  H.NumFunctions = Layout.Funcs.size();
+  H.SectionCount = NumSections;
+  H.FuncRecordBytes = sizeof(FuncRecord);
+  std::memcpy(Arena.data(), &H, sizeof(H));
+
+  PST_COUNTER("image.build.images", 1);
+  PST_VALUE("image.build.bytes", double(Layout.FileBytes));
+  PST_VALUE("image.build.functions", double(Layout.Funcs.size()));
+  return std::move(Arena);
+}
+
+//===----------------------------------------------------------------------===//
+// CorpusImage
+//===----------------------------------------------------------------------===//
+
+void CorpusImage::reset() {
+#if PST_IMAGE_HAVE_MMAP
+  if (MapAddr)
+    ::munmap(MapAddr, MapLen);
+#endif
+  MapAddr = nullptr;
+  MapLen = 0;
+  OwnedBytes.clear();
+  Base = nullptr;
+  Bytes = 0;
+  Hdr = nullptr;
+  Sections = nullptr;
+  Funcs = nullptr;
+}
+
+CorpusImage::~CorpusImage() { reset(); }
+
+CorpusImage::CorpusImage(CorpusImage &&O) noexcept { *this = std::move(O); }
+
+CorpusImage &CorpusImage::operator=(CorpusImage &&O) noexcept {
+  if (this == &O)
+    return *this;
+  reset();
+  OwnedBytes = std::move(O.OwnedBytes);
+  Base = O.Base;
+  Bytes = O.Bytes;
+  MapAddr = O.MapAddr;
+  MapLen = O.MapLen;
+  Hdr = O.Hdr;
+  Sections = O.Sections;
+  Funcs = O.Funcs;
+  O.MapAddr = nullptr;
+  O.MapLen = 0;
+  O.Base = nullptr;
+  O.Bytes = 0;
+  O.Hdr = nullptr;
+  O.Sections = nullptr;
+  O.Funcs = nullptr;
+  return *this;
+}
+
+namespace {
+
+bool fail(std::string *Error, std::string Msg) {
+  if (Error)
+    *Error = std::move(Msg);
+  return false;
+}
+
+} // namespace
+
+/// Structural validation over the mapped bytes: everything that can be
+/// checked without reading the array payloads. Clears the image on failure.
+bool CorpusImage::attach(std::string *Error) {
+  if (Bytes < sizeof(ImageHeader))
+    return fail(Error, "corpus image truncated: " + std::to_string(Bytes) +
+                           " bytes is smaller than the " +
+                           std::to_string(sizeof(ImageHeader)) +
+                           "-byte header");
+  Hdr = reinterpret_cast<const ImageHeader *>(Base);
+  if (std::memcmp(Hdr->MagicBytes, Magic, sizeof(Magic)) != 0)
+    return fail(Error, "not a corpus image: bad magic (expected \"PSTIMG01\")");
+  if (Hdr->Endian != EndianTag) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "0x%08x", Hdr->Endian);
+    return fail(Error,
+                std::string("corpus image endianness mismatch: tag reads ") +
+                    Buf + "; the image was written on a different-endian "
+                          "host and cannot be mapped here");
+  }
+  if (Hdr->Version != FormatVersion)
+    return fail(Error, "unsupported corpus image format version " +
+                           std::to_string(Hdr->Version) +
+                           " (this reader understands version " +
+                           std::to_string(FormatVersion) + ")");
+  if (Hdr->FuncRecordBytes != sizeof(FuncRecord))
+    return fail(Error, "corpus image function records are " +
+                           std::to_string(Hdr->FuncRecordBytes) +
+                           " bytes; this reader expects " +
+                           std::to_string(sizeof(FuncRecord)));
+  if (Hdr->FileBytes != Bytes)
+    return fail(Error, "corpus image truncated: file is " +
+                           std::to_string(Bytes) +
+                           " bytes but the header records " +
+                           std::to_string(Hdr->FileBytes));
+  if (Hdr->SectionCount != NumSections)
+    return fail(Error, "corpus image has " +
+                           std::to_string(Hdr->SectionCount) +
+                           " sections; format version 1 defines " +
+                           std::to_string(NumSections));
+  uint64_t TableEnd =
+      sizeof(ImageHeader) + uint64_t(NumSections) * sizeof(SectionDesc);
+  if (TableEnd > Bytes)
+    return fail(Error, "corpus image truncated inside the section table");
+  Sections = reinterpret_cast<const SectionDesc *>(Base + sizeof(ImageHeader));
+
+  for (uint32_t K = 0; K < NumSections; ++K) {
+    const SectionDesc &D = Sections[K];
+    std::string Name = std::string(sectionName(SectionKind(K))) +
+                       " (section " + std::to_string(K) + ")";
+    if (D.Kind != K)
+      return fail(Error, "corpus image section table corrupt: slot " +
+                             std::to_string(K) + " holds kind " +
+                             std::to_string(D.Kind));
+    if (D.Offset % SectionAlign != 0)
+      return fail(Error, "corpus image section " + Name + " is misaligned");
+    if (D.Offset < TableEnd || D.Offset > Bytes || D.Bytes > Bytes - D.Offset)
+      return fail(Error, "corpus image truncated: section " + Name +
+                             " extends past the end of the file");
+    if (D.Bytes % elemSize(SectionKind(K)) != 0)
+      return fail(Error, "corpus image section " + Name +
+                             " has a size that is not a multiple of its "
+                             "element size");
+  }
+
+  auto Elems = [&](SectionKind K) {
+    return Sections[uint32_t(K)].Bytes / elemSize(K);
+  };
+  if (Elems(SectionKind::FuncTable) != Hdr->NumFunctions)
+    return fail(Error,
+                "corpus image function table holds " +
+                    std::to_string(Elems(SectionKind::FuncTable)) +
+                    " records but the header records " +
+                    std::to_string(Hdr->NumFunctions) + " functions");
+  Funcs = reinterpret_cast<const FuncRecord *>(
+      Base + Sections[uint32_t(SectionKind::FuncTable)].Offset);
+
+  // Cross-section shape: the per-node, per-edge, and per-region families
+  // must agree in element count.
+  const uint64_t NodeElems = Elems(SectionKind::NodeRegion);
+  const uint64_t EdgeElems = Elems(SectionKind::SuccEdge);
+  const uint64_t CsrElems = Elems(SectionKind::SuccOff);
+  const uint64_t RegionElems = Elems(SectionKind::Regions);
+  const uint64_t RegionCsrElems = Elems(SectionKind::ChildOff);
+  const uint64_t ChildElems = Elems(SectionKind::ChildVal);
+  const uint64_t StrTabBytes = Sections[uint32_t(SectionKind::StrTab)].Bytes;
+  for (SectionKind K : {SectionKind::SuccTo, SectionKind::PredEdge,
+                        SectionKind::PredFrom, SectionKind::EdgeSrc,
+                        SectionKind::EdgeDst, SectionKind::EdgeRegion,
+                        SectionKind::EntryOf, SectionKind::ExitOf})
+    if (Elems(K) != EdgeElems)
+      return fail(Error, std::string("corpus image per-edge sections "
+                                     "disagree in size (") +
+                             sectionName(K) + ")");
+  if (Elems(SectionKind::PredOff) != CsrElems ||
+      Elems(SectionKind::ImmOff) != RegionCsrElems ||
+      Elems(SectionKind::ImmVal) != NodeElems ||
+      Elems(SectionKind::NodeLabelOff) != NodeElems)
+    return fail(Error, "corpus image section sizes are inconsistent");
+  if (StrTabBytes > 0 && Base[Sections[uint32_t(SectionKind::StrTab)].Offset +
+                              StrTabBytes - 1] != 0)
+    return fail(Error, "corpus image string table is not NUL-terminated");
+
+  // Per-function bounds: every slice must land inside its global array.
+  for (uint64_t I = 0; I < Hdr->NumFunctions; ++I) {
+    const FuncRecord &F = Funcs[I];
+    auto Bad = [&](const char *What) {
+      return fail(Error, "corpus image function " + std::to_string(I) +
+                             " has an out-of-bounds " + What + " slice");
+    };
+    if (F.NumRegions < 1)
+      return fail(Error, "corpus image function " + std::to_string(I) +
+                             " has no PST root region");
+    if (F.NodeBase > NodeElems || F.NumNodes > NodeElems - F.NodeBase)
+      return Bad("node");
+    if (F.EdgeBase > EdgeElems || F.NumEdges > EdgeElems - F.EdgeBase)
+      return Bad("edge");
+    if (F.CsrBase > CsrElems || uint64_t(F.NumNodes) + 1 > CsrElems - F.CsrBase)
+      return Bad("CSR offset");
+    if (F.RegionBase > RegionElems ||
+        F.NumRegions > RegionElems - F.RegionBase)
+      return Bad("region");
+    if (F.RegionCsrBase > RegionCsrElems ||
+        uint64_t(F.NumRegions) + 1 > RegionCsrElems - F.RegionCsrBase)
+      return Bad("region CSR offset");
+    if (F.ChildBase > ChildElems ||
+        uint64_t(F.NumRegions) - 1 > ChildElems - F.ChildBase)
+      return Bad("child");
+    if (F.NameOff >= StrTabBytes)
+      return Bad("name");
+    if (F.Entry >= F.NumNodes || F.Exit >= F.NumNodes)
+      return fail(Error, "corpus image function " + std::to_string(I) +
+                             " has an out-of-range entry or exit node");
+  }
+
+  PST_COUNTER("image.map.functions", Hdr->NumFunctions);
+  PST_VALUE("image.map.bytes", double(Bytes));
+  return true;
+}
+
+CorpusImage CorpusImage::map(const std::string &Path, std::string *Error) {
+  PST_SPAN("image.map");
+  CorpusImage Img;
+#if PST_IMAGE_HAVE_MMAP
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0) {
+    fail(Error, "cannot open corpus image '" + Path +
+                    "': " + std::strerror(errno));
+    return Img;
+  }
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    fail(Error, "cannot stat corpus image '" + Path +
+                    "': " + std::strerror(errno));
+    ::close(Fd);
+    return Img;
+  }
+  size_t Len = size_t(St.st_size);
+  void *Addr = Len ? ::mmap(nullptr, Len, PROT_READ, MAP_PRIVATE, Fd, 0)
+                   : nullptr;
+  ::close(Fd); // The mapping keeps its own reference.
+  if (Len && Addr == MAP_FAILED) {
+    fail(Error, "cannot map corpus image '" + Path +
+                    "': " + std::strerror(errno));
+    return Img;
+  }
+  Img.MapAddr = Addr;
+  Img.MapLen = Len;
+  Img.Base = static_cast<const uint8_t *>(Addr);
+  Img.Bytes = Len;
+#else
+  // Portability fallback: read the file into owned memory. Same validation
+  // and accessor surface, no zero-copy win.
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    fail(Error, "cannot open corpus image '" + Path + "'");
+    return Img;
+  }
+  std::vector<uint8_t> Buf((std::istreambuf_iterator<char>(In)),
+                           std::istreambuf_iterator<char>());
+  Img.OwnedBytes = std::move(Buf);
+  Img.Base = Img.OwnedBytes.data();
+  Img.Bytes = Img.OwnedBytes.size();
+#endif
+  if (!Img.attach(Error))
+    Img.reset();
+  return Img;
+}
+
+CorpusImage CorpusImage::fromBytes(std::vector<uint8_t> Bytes,
+                                   std::string *Error) {
+  CorpusImage Img;
+  Img.OwnedBytes = std::move(Bytes);
+  Img.Base = Img.OwnedBytes.data();
+  Img.Bytes = Img.OwnedBytes.size();
+  if (!Img.attach(Error))
+    Img.reset();
+  return Img;
+}
+
+const uint8_t *CorpusImage::sectionBase(SectionKind K) const {
+  return Base + Sections[uint32_t(K)].Offset;
+}
+
+bool CorpusImage::verifySection(uint32_t I) const {
+  const SectionDesc &D = Sections[I];
+  return fnv1a(Base + D.Offset, D.Bytes) == D.Checksum;
+}
+
+bool CorpusImage::verify(std::string *Error) const {
+  PST_SPAN("image.verify");
+  assert(valid() && "verify on an invalid image");
+  for (uint32_t K = 0; K < Hdr->SectionCount; ++K)
+    if (!verifySection(K))
+      return fail(Error,
+                  std::string("corpus image checksum mismatch in section ") +
+                      sectionName(SectionKind(K)) + " (section " +
+                      std::to_string(K) + "): the image is corrupted");
+  return true;
+}
+
+std::string_view CorpusImage::functionName(uint64_t I) const {
+  const char *Str =
+      reinterpret_cast<const char *>(sectionBase(SectionKind::StrTab));
+  return Str + Funcs[I].NameOff; // NUL-terminated; checked in attach().
+}
+
+CfgView CorpusImage::cfg(uint64_t I) const {
+  const FuncRecord &F = Funcs[I];
+  auto At32 = [&](SectionKind K, uint64_t Base) {
+    return reinterpret_cast<const uint32_t *>(sectionBase(K)) + Base;
+  };
+  return CfgView::adopt(
+      F.NumNodes, F.NumEdges, F.Entry, F.Exit,
+      At32(SectionKind::SuccOff, F.CsrBase),
+      At32(SectionKind::PredOff, F.CsrBase),
+      At32(SectionKind::SuccEdge, F.EdgeBase),
+      At32(SectionKind::SuccTo, F.EdgeBase),
+      At32(SectionKind::PredEdge, F.EdgeBase),
+      At32(SectionKind::PredFrom, F.EdgeBase),
+      At32(SectionKind::EdgeSrc, F.EdgeBase),
+      At32(SectionKind::EdgeDst, F.EdgeBase));
+}
+
+ProgramStructureTree CorpusImage::pst(uint64_t I) const {
+  const FuncRecord &F = Funcs[I];
+  auto At32 = [&](SectionKind K, uint64_t Base, uint64_t Count) {
+    return std::span<const uint32_t>(
+        reinterpret_cast<const uint32_t *>(sectionBase(K)) + Base, Count);
+  };
+  std::span<const SeseRegion> Regions(
+      reinterpret_cast<const SeseRegion *>(sectionBase(SectionKind::Regions)) +
+          F.RegionBase,
+      F.NumRegions);
+  return ProgramStructureTree::adoptExternal(
+      Regions, At32(SectionKind::NodeRegion, F.NodeBase, F.NumNodes),
+      At32(SectionKind::EdgeRegion, F.EdgeBase, F.NumEdges),
+      At32(SectionKind::EntryOf, F.EdgeBase, F.NumEdges),
+      At32(SectionKind::ExitOf, F.EdgeBase, F.NumEdges),
+      At32(SectionKind::ChildOff, F.RegionCsrBase, uint64_t(F.NumRegions) + 1),
+      At32(SectionKind::ChildVal, F.ChildBase, uint64_t(F.NumRegions) - 1),
+      At32(SectionKind::ImmOff, F.RegionCsrBase, uint64_t(F.NumRegions) + 1),
+      At32(SectionKind::ImmVal, F.NodeBase, F.NumNodes));
+}
+
+Cfg CorpusImage::materializeCfg(uint64_t I) const {
+  const FuncRecord &F = Funcs[I];
+  const char *Str =
+      reinterpret_cast<const char *>(sectionBase(SectionKind::StrTab));
+  const uint64_t *LabelOff = reinterpret_cast<const uint64_t *>(
+                                 sectionBase(SectionKind::NodeLabelOff)) +
+                             F.NodeBase;
+  const uint32_t *Src = reinterpret_cast<const uint32_t *>(
+                            sectionBase(SectionKind::EdgeSrc)) +
+                        F.EdgeBase;
+  const uint32_t *Dst = reinterpret_cast<const uint32_t *>(
+                            sectionBase(SectionKind::EdgeDst)) +
+                        F.EdgeBase;
+  Cfg G;
+  G.reserveNodes(F.NumNodes);
+  G.reserveEdges(F.NumEdges);
+  for (uint32_t N = 0; N < F.NumNodes; ++N)
+    G.addNode(std::string(Str + LabelOff[N]));
+  // Appending in edge-id order reproduces adjacency-list order exactly:
+  // Cfg construction only ever appends.
+  for (uint32_t E = 0; E < F.NumEdges; ++E)
+    G.addEdge(Src[E], Dst[E]);
+  G.setEntry(F.Entry);
+  G.setExit(F.Exit);
+  return G;
+}
+
+//===----------------------------------------------------------------------===//
+// Free helpers
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> pst::buildCorpusImage(std::span<const Cfg *const> Fns,
+                                           std::span<const std::string> Names) {
+  PST_SPAN("image.build");
+  assert((Names.empty() || Names.size() == Fns.size()) &&
+         "names must parallel functions");
+  CorpusImageBuilder B(Fns.size());
+  CfgViewScratch VS;
+  PstBuildScratch PS;
+  std::vector<ProgramStructureTree> Trees(Fns.size());
+  for (size_t I = 0; I < Fns.size(); ++I) {
+    CfgView V = CfgView::build(*Fns[I], VS);
+    Trees[I] = ProgramStructureTree::build(V, PS);
+    B.setShape(I, *Fns[I], Trees[I], Names.empty() ? "" : Names[I]);
+  }
+  B.layout();
+  for (size_t I = 0; I < Fns.size(); ++I) {
+    CfgView V = CfgView::build(*Fns[I], VS);
+    B.fill(I, *Fns[I], V, Trees[I], Names.empty() ? "" : Names[I]);
+  }
+  return B.finish();
+}
+
+bool pst::writeImageFile(const std::string &Path,
+                         std::span<const uint8_t> Bytes, std::string *Error) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return fail(Error, "cannot open '" + Path + "' for writing");
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            std::streamsize(Bytes.size()));
+  Out.close();
+  if (!Out)
+    return fail(Error, "write to '" + Path + "' failed");
+  return true;
+}

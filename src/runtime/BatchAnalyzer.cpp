@@ -50,6 +50,64 @@ BatchAnalyzer::analyzeCorpus(std::span<const Cfg> Fns) {
 }
 
 std::vector<FunctionAnalysis>
+BatchAnalyzer::analyzeCorpus(const CorpusImage &Img) {
+  PST_SPAN("batch.corpus");
+  PST_COUNTER("batch.corpora", 1);
+  PST_COUNTER("batch.functions", Img.numFunctions());
+  std::vector<FunctionAnalysis> Out(Img.numFunctions());
+  Pool.run(Out.size(), Opts.ChunkSize,
+           [&](size_t Begin, size_t End, unsigned Worker) {
+             PST_SPAN("batch.chunk");
+             PST_COUNTER("batch.chunks", 1);
+             PST_VALUE("batch.chunk_functions", End - Begin);
+             PstScratch &S = Scratches[Worker];
+             for (size_t I = Begin; I < End; ++I) {
+               Out[I].Pst = Img.pst(I);
+               if (Opts.ComputeControlRegions)
+                 Out[I].ControlRegions = computeControlRegionsLinearImplicit(
+                     Img.cfg(I), S.CtrlRegions);
+             }
+           });
+  return Out;
+}
+
+std::vector<uint8_t>
+BatchAnalyzer::buildImage(std::span<const Cfg> Fns,
+                          std::span<const std::string> Names) {
+  PST_SPAN("image.build");
+  assert((Names.empty() || Names.size() == Fns.size()) &&
+         "names must parallel functions");
+  CorpusImageBuilder B(Fns.size());
+  // Parallel pass 1: per-function views + PSTs; shapes go to distinct
+  // slots, the trees are kept for pass 2 (rebuilding a view into warm
+  // scratch is cheap; rebuilding the PST is not).
+  std::vector<ProgramStructureTree> Trees(Fns.size());
+  Pool.run(Fns.size(), Opts.ChunkSize,
+           [&](size_t Begin, size_t End, unsigned Worker) {
+             PstScratch &S = Scratches[Worker];
+             for (size_t I = Begin; I < End; ++I) {
+               CfgView V = CfgView::build(Fns[I], S.View);
+               Trees[I] = ProgramStructureTree::build(V, S.PstBuild);
+               B.setShape(I, Fns[I], Trees[I],
+                          Names.empty() ? "" : Names[I]);
+             }
+           });
+  // The one serial step: the offset-table fixup pass.
+  B.layout();
+  // Parallel pass 2: copy into disjoint arena slices.
+  Pool.run(Fns.size(), Opts.ChunkSize,
+           [&](size_t Begin, size_t End, unsigned Worker) {
+             PstScratch &S = Scratches[Worker];
+             for (size_t I = Begin; I < End; ++I) {
+               CfgView V = CfgView::build(Fns[I], S.View);
+               B.fill(I, Fns[I], V, Trees[I],
+                      Names.empty() ? "" : Names[I]);
+             }
+           });
+  return B.finish();
+}
+
+std::vector<FunctionAnalysis>
 BatchAnalyzer::analyzeCorpus(std::span<const Cfg *const> Fns) {
   PST_SPAN("batch.corpus");
   PST_COUNTER("batch.corpora", 1);

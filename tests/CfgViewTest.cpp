@@ -318,6 +318,9 @@ TEST(CfgViewByteIdentity, DomLoopsIntervalsMatchLegacyOnFullCorpus) {
       ASSERT_EQ(LiL.loopOf(N), LiV.loopOf(N)) << C.Fn.Name << " node " << N;
     ASSERT_EQ(LiL.irreducibleEdges(), LiV.irreducibleEdges()) << C.Fn.Name;
 
+    // T1/T2 reducibility: same verdict from the Cfg and view overloads.
+    ASSERT_EQ(isReducible(G), isReducible(V)) << C.Fn.Name;
+
     // Intervals: same partition in the same discovery order.
     IntervalPartition IpL = computeIntervals(G);
     IntervalPartition IpV = computeIntervals(V);
