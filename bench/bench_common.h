@@ -1,0 +1,75 @@
+//===- bench_common.h - Shared helpers for the plain benches ----*- C++ -*-===//
+//
+// Part of the PST library (see include/pst/image/CorpusImage.h for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bits every plain (non-google-benchmark) bench shares: the process
+/// peak-RSS probe and the common BENCH_*.json preamble.
+///
+/// Every BENCH_*.json file opens with the same schema ("pst-bench-v1")
+/// fields, so cross-bench tooling can read any of them without per-bench
+/// cases (see EXPERIMENTS.md for the field reference):
+///
+///   schema                "pst-bench-v1"
+///   bench                 which bench produced the file
+///   corpus                the headline corpus measured
+///   fns_per_sec           the bench's headline throughput (0 if N/A)
+///   peak_rss_bytes        getrusage high-water mark at emit time
+///   hardware_concurrency  std::thread::hardware_concurrency()
+///
+/// Bench-specific payload follows the preamble in the same JSON object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_BENCH_COMMON_H
+#define PST_BENCH_COMMON_H
+
+#include <cstdint>
+#include <ostream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace pstbench {
+
+/// The process's peak resident set in bytes (getrusage high-water mark —
+/// monotone over the process lifetime, which is what makes it usable as a
+/// bounded-memory gate: nothing that ran earlier can be hidden). Returns 0
+/// where getrusage is unavailable.
+inline uint64_t peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Ru;
+  if (getrusage(RUSAGE_SELF, &Ru) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return uint64_t(Ru.ru_maxrss); // Bytes on macOS.
+#else
+  return uint64_t(Ru.ru_maxrss) * 1024; // KiB on Linux.
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Writes the shared "pst-bench-v1" preamble fields (with a trailing
+/// comma): the caller opens the object with "{\n", calls this, then emits
+/// its bench-specific payload.
+inline void writeSchemaPreamble(std::ostream &OS, const char *Bench,
+                                const char *Corpus, double FnsPerSec) {
+  OS << "  \"schema\": \"pst-bench-v1\",\n";
+  OS << "  \"bench\": \"" << Bench << "\",\n";
+  OS << "  \"corpus\": \"" << Corpus << "\",\n";
+  OS << "  \"fns_per_sec\": " << FnsPerSec << ",\n";
+  OS << "  \"peak_rss_bytes\": " << peakRssBytes() << ",\n";
+  OS << "  \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << ",\n";
+}
+
+} // namespace pstbench
+
+#endif // PST_BENCH_COMMON_H

@@ -40,6 +40,11 @@ target_link_libraries(time_region_profile PRIVATE pst_prof)
 pst_add_bench(time_corpus_image)
 target_link_libraries(time_corpus_image PRIVATE pst_runtime pst_image)
 
+# Streaming million-function pipeline (plain bench: custom JSON + an
+# enforced peak-RSS bound across corpus sizes).
+pst_add_bench(time_stream_corpus)
+target_link_libraries(time_stream_corpus PRIVATE pst_runtime pst_image)
+
 # Timing comparisons (google-benchmark).
 pst_add_timing_bench(time_cycleequiv_vs_domtree)
 pst_add_timing_bench(time_control_regions)

@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_common.h"
+
 #include "pst/runtime/BatchAnalyzer.h"
 
 #include "pst/obs/Telemetry.h"
@@ -20,6 +22,7 @@
 #include "pst/workload/CfgGenerators.h"
 #include "pst/workload/Corpus.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -300,8 +303,8 @@ constexpr double Pr4BaselineScratchAllocs = 64.65;
 void writePipelineJson(const std::string &Path, const PipelineReport &R) {
   std::ofstream OS(Path);
   OS << "{\n";
-  OS << "  \"bench\": \"pipeline\",\n";
-  OS << "  \"corpus\": \"paper\",\n";
+  pstbench::writeSchemaPreamble(OS, "pipeline", "paper",
+                                R.ViewPath.FnsPerSec);
   OS << "  \"functions\": " << R.Functions << ",\n";
   OS << "  \"identical_results\": " << (R.Identical ? "true" : "false")
      << ",\n";
@@ -327,10 +330,15 @@ void writePipelineJson(const std::string &Path, const PipelineReport &R) {
 void writeJson(const std::string &Path, unsigned HwThreads,
                const std::vector<CorpusReport> &Corpora,
                const AllocReport &Allocs) {
+  (void)HwThreads; // Part of the shared schema preamble now.
+  // Headline throughput: the paper corpus's best sweep result.
+  double BestFnsPerSec = 0;
+  for (const ThreadResult &R : Corpora.front().Results)
+    BestFnsPerSec = std::max(BestFnsPerSec, R.FnsPerSec);
   std::ofstream OS(Path);
   OS << "{\n";
-  OS << "  \"bench\": \"batch_throughput\",\n";
-  OS << "  \"hardware_concurrency\": " << HwThreads << ",\n";
+  pstbench::writeSchemaPreamble(OS, "batch_throughput",
+                                Corpora.front().Name.c_str(), BestFnsPerSec);
   OS << "  \"corpora\": [\n";
   for (size_t I = 0; I < Corpora.size(); ++I) {
     const CorpusReport &C = Corpora[I];

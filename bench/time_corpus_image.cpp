@@ -24,8 +24,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "pst/image/CorpusImage.h"
+#include "bench_common.h"
 
+#include "pst/image/CorpusImage.h"
 #include "pst/runtime/BatchAnalyzer.h"
 #include "pst/workload/CfgGenerators.h"
 #include "pst/workload/Corpus.h"
@@ -103,12 +104,20 @@ uint64_t fingerprint(const ProgramStructureTree &T) {
   return H;
 }
 
+struct ParallelBuildRun {
+  unsigned Threads = 0; ///< Requested (0 = hardware).
+  unsigned Workers = 0;
+  double Seconds = 0;
+};
+
 struct CorpusReport {
   std::string Name;
   size_t Functions = 0;
   uint64_t ImageBytes = 0;
   double BuildSerialSec = 0;   ///< One-time serial image build.
-  double BuildParallelSec = 0; ///< One-time pool-parallel image build.
+  double BuildParallelSec = 0; ///< One-time pool-parallel image build
+                               ///< (first sweep entry).
+  std::vector<ParallelBuildRun> ParallelSweep; ///< One per --threads entry.
   double ColdBuildSec = 0;     ///< No-image cold start (view+PST per fn).
   double ColdMapSec = 0;       ///< Image cold start (map + touch every fn).
   double VerifySec = 0;        ///< Optional full checksum pass.
@@ -132,12 +141,13 @@ template <class F> double timeRounds(double MinSeconds, F &&Body) {
 
 CorpusReport benchCorpus(const std::string &Name,
                          std::span<const Cfg *const> Fns,
-                         const std::string &Path) {
+                         const std::string &Path,
+                         const std::vector<unsigned> &ThreadSweep) {
   CorpusReport R;
   R.Name = Name;
   R.Functions = Fns.size();
 
-  // One-time build cost, serial and parallel.
+  // One-time build cost, serial and one parallel run per --threads entry.
   std::vector<uint8_t> Bytes;
   R.BuildSerialSec = timeRounds(0.3, [&] { Bytes = buildCorpusImage(Fns); });
   {
@@ -145,14 +155,23 @@ CorpusReport benchCorpus(const std::string &Name,
     Owned.reserve(Fns.size());
     for (const Cfg *G : Fns)
       Owned.push_back(*G);
-    BatchAnalyzer Engine;
-    std::vector<uint8_t> Parallel;
-    R.BuildParallelSec =
-        timeRounds(0.3, [&] { Parallel = Engine.buildImage(Owned); });
-    if (Parallel != buildCorpusImage(Fns)) {
-      std::cerr << "FATAL: parallel image build diverged from serial\n";
-      std::exit(1);
+    for (unsigned T : ThreadSweep) {
+      BatchOptions BO;
+      BO.NumThreads = T;
+      BatchAnalyzer Engine(BO);
+      std::vector<uint8_t> Parallel;
+      ParallelBuildRun Run;
+      Run.Threads = T;
+      Run.Workers = Engine.numWorkers();
+      Run.Seconds =
+          timeRounds(0.3, [&] { Parallel = Engine.buildImage(Owned); });
+      if (Parallel != Bytes) {
+        std::cerr << "FATAL: parallel image build diverged from serial\n";
+        std::exit(1);
+      }
+      R.ParallelSweep.push_back(Run);
     }
+    R.BuildParallelSec = R.ParallelSweep.front().Seconds;
   }
   R.ImageBytes = Bytes.size();
   std::string Error;
@@ -229,10 +248,15 @@ CorpusReport benchCorpus(const std::string &Name,
 
 void writeJson(const std::string &Path, unsigned HwThreads,
                const std::vector<CorpusReport> &Corpora) {
+  (void)HwThreads; // Part of the shared schema preamble now.
+  // Headline throughput: the largest corpus's image cold-start rate.
+  const CorpusReport &Head = Corpora.back();
   std::ofstream OS(Path);
   OS << "{\n";
-  OS << "  \"bench\": \"corpus_image\",\n";
-  OS << "  \"hardware_concurrency\": " << HwThreads << ",\n";
+  pstbench::writeSchemaPreamble(OS, "corpus_image", Head.Name.c_str(),
+                                Head.ColdMapSec > 0
+                                    ? double(Head.Functions) / Head.ColdMapSec
+                                    : 0);
   OS << "  \"corpora\": [\n";
   for (size_t I = 0; I < Corpora.size(); ++I) {
     const CorpusReport &C = Corpora[I];
@@ -243,6 +267,14 @@ void writeJson(const std::string &Path, unsigned HwThreads,
     OS << "      \"image_build_serial_sec\": " << C.BuildSerialSec << ",\n";
     OS << "      \"image_build_parallel_sec\": " << C.BuildParallelSec
        << ",\n";
+    OS << "      \"image_build_parallel_sweep\": [";
+    for (size_t J = 0; J < C.ParallelSweep.size(); ++J) {
+      const ParallelBuildRun &R = C.ParallelSweep[J];
+      OS << (J ? ", " : "") << "{\"threads\": " << R.Threads
+         << ", \"workers\": " << R.Workers << ", \"build_sec\": " << R.Seconds
+         << "}";
+    }
+    OS << "],\n";
     OS << "      \"cold_start_build_sec\": " << C.ColdBuildSec << ",\n";
     OS << "      \"cold_start_map_sec\": " << C.ColdMapSec << ",\n";
     OS << "      \"verify_sec\": " << C.VerifySec << ",\n";
@@ -257,7 +289,31 @@ void writeJson(const std::string &Path, unsigned HwThreads,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::vector<unsigned> ThreadSweep = {0}; // 0 = hardware concurrency.
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--threads" && I + 1 < Argc) {
+      ThreadSweep.clear();
+      const char *P = Argv[++I];
+      while (*P) {
+        char *End = nullptr;
+        unsigned long V = std::strtoul(P, &End, 0);
+        if (End == P) {
+          std::cerr << "error: --threads expects a comma-separated list\n";
+          return 1;
+        }
+        ThreadSweep.push_back(unsigned(V));
+        P = (*End == ',') ? End + 1 : End;
+      }
+      if (ThreadSweep.empty())
+        ThreadSweep.push_back(0);
+    } else {
+      std::cerr << "error: unknown option '" << A << "'\n";
+      return 1;
+    }
+  }
+
   const unsigned Hw = std::max(1u, std::thread::hardware_concurrency());
   std::cout << "=== Corpus image cold start (hardware_concurrency=" << Hw
             << ") ===\n\n";
@@ -277,10 +333,10 @@ int main() {
   std::vector<CorpusReport> Corpora;
   Corpora.push_back(benchCorpus("paper",
                                 std::span<const Cfg *const>(PaperPtrs),
-                                "bench_corpus_paper.img"));
+                                "bench_corpus_paper.img", ThreadSweep));
   Corpora.push_back(benchCorpus("gen10k",
                                 std::span<const Cfg *const>(GenPtrs),
-                                "bench_corpus_gen10k.img"));
+                                "bench_corpus_gen10k.img", ThreadSweep));
 
   writeJson("BENCH_image.json", Hw, Corpora);
   std::cout << "\nwrote BENCH_image.json\n";

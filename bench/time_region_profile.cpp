@@ -15,6 +15,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_common.h"
+
 #include "pst/core/ProgramStructureTree.h"
 #include "pst/lang/Interp.h"
 #include "pst/lang/Lower.h"
@@ -200,7 +202,8 @@ int main() {
 
   std::ofstream OS("BENCH_profile.json");
   OS << "{\n";
-  OS << "  \"bench\": \"region_profile\",\n";
+  pstbench::writeSchemaPreamble(OS, "region_profile", "generated",
+                                M.ProfilesPerSec);
   OS << "  \"interp\": {\n";
   OS << "    \"steps_per_run\": " << StepsPerRun << ",\n";
   OS << "    \"steps_per_sec_edges_off\": " << PlainSps << ",\n";

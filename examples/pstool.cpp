@@ -26,7 +26,16 @@
 //                     materialized CFGs — output matches the direct path
 //                     byte for byte
 //     --image-info <f>  dump a corpus image's header, section table and
-//                     per-section checksum status, then exit
+//                     per-section checksum status, then exit; exits 1 if
+//                     any section checksum mismatches
+//     --gen-image <n>   stream-build a corpus image of <n> generated
+//                     functions out of core (bounded memory; see
+//                     pst/workload/CorpusStream.h) and exit. Requires
+//                     --out; --gen-seed / --gen-chunk / --threads tune it
+//     --out <f>       output path for --gen-image
+//     --gen-seed <s>  stream corpus seed (default 0x57a3e)
+//     --gen-chunk <c> functions per streamed chunk (default 4096)
+//     --threads <t>   worker threads for --gen-image (0 = hardware)
 //
 // Without an input file, a built-in demo program is analyzed.
 //
@@ -44,7 +53,10 @@
 #include "pst/lang/Lower.h"
 #include "pst/obs/Telemetry.h"
 #include "pst/obs/TraceWriter.h"
+#include "pst/runtime/BatchAnalyzer.h"
+#include "pst/workload/CorpusStream.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -63,6 +75,11 @@ struct Options {
   std::string InputFile;
   std::string TraceFile;
   std::string SaveImage, LoadImage, ImageInfo;
+  uint64_t GenImage = 0;
+  std::string OutFile;
+  uint64_t GenSeed = 0x57a3e;
+  uint64_t GenChunk = 4096;
+  unsigned Threads = 0;
 };
 
 const char *DemoSource = R"(
@@ -169,16 +186,57 @@ int printImageInfo(const std::string &Path) {
             << " bytes, " << H.NumFunctions << " function(s), "
             << H.SectionCount << " sections\n\n"
             << "  section        offset        bytes  checksum\n";
+  bool AllOk = true;
   for (uint32_t K = 0; K < Img.numSections(); ++K) {
     const image::SectionDesc &D = Img.section(K);
+    bool Ok = Img.verifySection(K);
+    AllOk &= Ok;
     char Line[128];
     std::snprintf(Line, sizeof(Line), "  %-12s %8llu %12llu  %s",
                   image::sectionName(image::SectionKind(K)),
                   static_cast<unsigned long long>(D.Offset),
                   static_cast<unsigned long long>(D.Bytes),
-                  Img.verifySection(K) ? "ok" : "MISMATCH");
+                  Ok ? "ok" : "MISMATCH");
     std::cout << Line << "\n";
   }
+  if (!AllOk) {
+    std::cerr << "error: corpus image " << Path
+              << " has checksum mismatches\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// Handles --gen-image: stream-builds \p Opt.GenImage generated functions
+/// into \p Opt.OutFile without ever materializing the corpus.
+int genImage(const Options &Opt) {
+  StreamCorpusOptions SO;
+  SO.Seed = Opt.GenSeed;
+  SO.Count = Opt.GenImage;
+  BatchOptions BO;
+  BO.NumThreads = Opt.Threads;
+  BatchAnalyzer Analyzer(BO);
+  auto Produce = [&SO](uint64_t Begin, uint64_t Count, std::vector<Cfg> &G,
+                       std::vector<std::string> &N) {
+    G.resize(Count);
+    N.resize(Count);
+    for (uint64_t I = 0; I < Count; ++I)
+      generateStreamFunction(SO, Begin + I, G[I], N[I]);
+  };
+  std::string Error;
+  if (!Analyzer.buildImageStream(SO.Count, Produce, size_t(Opt.GenChunk),
+                                 Opt.OutFile, &Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  if (!verifyImageFile(Opt.OutFile, &Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  std::cout << "wrote corpus image " << Opt.OutFile << " (" << SO.Count
+            << " function(s), seed 0x" << std::hex << SO.Seed << std::dec
+            << ", chunk " << Opt.GenChunk << ", " << Analyzer.numWorkers()
+            << " worker(s))\n";
   return 0;
 }
 
@@ -259,6 +317,33 @@ int main(int Argc, char **Argv) {
       else
         Opt.ImageInfo = F;
     }
+    else if (A == "--gen-image" || A == "--out" || A == "--gen-seed" ||
+             A == "--gen-chunk" || A == "--threads") {
+      if (I + 1 >= Argc) {
+        std::cerr << "error: " << A << " needs an argument\n";
+        return 1;
+      }
+      std::string V = Argv[++I];
+      if (A == "--out")
+        Opt.OutFile = V;
+      else {
+        char *End = nullptr;
+        uint64_t N = std::strtoull(V.c_str(), &End, 0);
+        if (!End || *End != '\0') {
+          std::cerr << "error: " << A << " needs a number, got '" << V
+                    << "'\n";
+          return 1;
+        }
+        if (A == "--gen-image")
+          Opt.GenImage = N;
+        else if (A == "--gen-seed")
+          Opt.GenSeed = N;
+        else if (A == "--gen-chunk")
+          Opt.GenChunk = N ? N : 1;
+        else
+          Opt.Threads = unsigned(N);
+      }
+    }
     else if (A == "--all")
       Opt.Pst = Opt.Regions = Opt.Dom = Opt.Loops = Opt.Intervals = true;
     else if (!A.empty() && A[0] == '-') {
@@ -285,6 +370,16 @@ int main(int Argc, char **Argv) {
 
   if (!Opt.ImageInfo.empty())
     return printImageInfo(Opt.ImageInfo);
+
+  if (Opt.GenImage) {
+    if (Opt.OutFile.empty()) {
+      std::cerr << "error: --gen-image needs --out <file>\n";
+      return 1;
+    }
+    if (int Rc = genImage(Opt))
+      return Rc;
+    return finishTelemetry(Opt);
+  }
 
   if (!Opt.LoadImage.empty()) {
     std::string Error;

@@ -157,6 +157,14 @@ static_assert(sizeof(SeseRegion) == 16 &&
 /// FNV-1a 64-bit over \p Bytes bytes — the per-section checksum.
 uint64_t fnv1a(const void *Data, uint64_t Bytes);
 
+/// Incremental FNV-1a: folds \p Bytes more bytes into running state \p H.
+/// Seed with \c Fnv1aBasis; chaining updates over consecutive windows
+/// equals one fnv1a over the concatenation, which is what lets the
+/// out-of-core builder and \c verifyImageFile checksum multi-gigabyte
+/// sections through a bounded buffer.
+inline constexpr uint64_t Fnv1aBasis = 0xcbf29ce484222325ull;
+uint64_t fnv1aUpdate(uint64_t H, const void *Data, uint64_t Bytes);
+
 /// What the layout pass needs to know about one function.
 struct FunctionShape {
   uint32_t NumNodes = 0;
@@ -184,6 +192,37 @@ struct ImageLayout {
 /// The one offset-table fixup pass: prefix sums over the shapes, then the
 /// section table (header + section descriptors + aligned payloads).
 ImageLayout computeCorpusLayout(std::span<const FunctionShape> Shapes);
+
+/// Computes one function's layout facts. \p T must be the PST of \p G.
+/// Both the in-memory builder's setShape and the streaming writer reduce
+/// to this, so the two paths cannot disagree about a function's shape.
+FunctionShape functionShape(const Cfg &G, const ProgramStructureTree &T,
+                            std::string_view Name = {});
+
+/// The running prefix sums of the layout pass. append() folds one shape
+/// in and returns its finished FuncRecord; the final totals are the
+/// global element counts every section's byte size derives from.
+/// computeCorpusLayout consumes shapes through this cursor and the
+/// out-of-core StreamImageWriter feeds it one shape at a time — same
+/// arithmetic, so a streamed offset table is the materialized one byte
+/// for byte at any chunk size.
+struct LayoutCursor {
+  uint64_t Nodes = 0;     ///< Elements of NodeRegion/ImmVal/NodeLabelOff.
+  uint64_t Edges = 0;     ///< Elements of the six edge arrays + EdgeRegion/EntryOf/ExitOf.
+  uint64_t Csr = 0;       ///< Elements of SuccOff/PredOff.
+  uint64_t Regions = 0;   ///< Elements of Regions.
+  uint64_t RegionCsr = 0; ///< Elements of ChildOff/ImmOff.
+  uint64_t Children = 0;  ///< Elements of ChildVal.
+  uint64_t Str = 0;       ///< Bytes of StrTab.
+
+  FuncRecord append(const FunctionShape &S);
+};
+
+/// Fills \p L's SectionBytes/SectionOffset/FileBytes from the cursor's
+/// final totals (L.Funcs is left alone — streamed layouts never hold the
+/// offset table in memory). Second half of computeCorpusLayout.
+void finalizeSectionLayout(uint64_t NumFunctions, const LayoutCursor &Cur,
+                           ImageLayout &L);
 
 } // namespace image
 
@@ -230,6 +269,125 @@ private:
   std::vector<uint8_t> Arena;
   bool LaidOut = false;
 };
+
+namespace image {
+/// Opaque platform file handle (POSIX fd, or a locked stdio stream where
+/// positional I/O is unavailable). Defined in the .cpp.
+struct ImageFile;
+} // namespace image
+
+/// Out-of-core twin of \c CorpusImageBuilder: builds a corpus image
+/// directly into a pre-sized file instead of a heap arena, so peak RSS is
+/// proportional to one chunk of functions, never to the corpus.
+///
+///   pass 1:  addShape() per function, strictly in index order. Each
+///            shape's FuncRecord falls out of the running prefix sums
+///            (\c image::LayoutCursor) and is written straight into the
+///            file's FuncTable section — whose offset is known before any
+///            layout, because FuncTable is the first section and header +
+///            section table have fixed size. beginFill() then fixes the
+///            section table arithmetically from the final totals and
+///            pre-sizes the file (unwritten holes read back as zero,
+///            which is exactly the in-memory arena's zeroed padding).
+///   pass 2:  re-stream the corpus in chunks. beginChunk() reads the
+///            chunk's FuncRecords back from the file and sizes zeroed
+///            staging buffers — within any section, a run of consecutive
+///            functions occupies one contiguous byte range. fill() copies
+///            one function into the staging slices (distinct functions of
+///            the same chunk may fill concurrently; their slices are
+///            disjoint). endChunk() issues one positional write per
+///            section. Distinct chunks with distinct scratch may also be
+///            in flight concurrently.
+///   finish(): re-reads the file through a bounded window to compute the
+///            section checksums, then writes header + section table.
+///
+/// The output is byte-identical to \c CorpusImageBuilder over the same
+/// functions in the same order, at every chunk size and thread count —
+/// the layout arithmetic and the per-function slice copies are shared
+/// code, and the chunk staging only changes *where* bytes are assembled.
+class StreamImageWriter {
+public:
+  /// Staging state for one in-flight chunk: the chunk's FuncRecords (plus
+  /// one end sentinel) and one zeroed buffer per section covering the
+  /// chunk's contiguous element range. Reused across chunks; use one
+  /// instance per concurrent chunk.
+  struct ChunkScratch {
+    uint64_t Begin = 0;
+    uint64_t Count = 0;
+    /// Count + 1 records: the chunk's own plus a sentinel whose bases are
+    /// the chunk's end elements (the next function's record, or the
+    /// corpus totals for the tail chunk).
+    std::vector<image::FuncRecord> Recs;
+    std::vector<uint8_t> Buf[image::NumSections];
+  };
+
+  /// Creates/truncates \p Path. On I/O failure the writer is !valid() and
+  /// every operation fails with the constructor's diagnostic.
+  StreamImageWriter(std::string Path, uint64_t NumFunctions);
+  ~StreamImageWriter();
+  StreamImageWriter(const StreamImageWriter &) = delete;
+  StreamImageWriter &operator=(const StreamImageWriter &) = delete;
+
+  bool valid() const { return File != nullptr; }
+
+  /// Pass 1, serial, in index order: folds function \p I = (number of
+  /// prior addShape calls)'s shape into the layout and streams its
+  /// FuncRecord to the file.
+  bool addShape(const image::FunctionShape &S, std::string *Error = nullptr);
+  bool addShape(const Cfg &G, const ProgramStructureTree &T,
+                std::string_view Name = {}, std::string *Error = nullptr);
+
+  /// Serial barrier between the passes: requires exactly NumFunctions
+  /// addShape calls, finalizes the section layout, pre-sizes the file.
+  bool beginFill(std::string *Error = nullptr);
+
+  /// Loads chunk [Begin, Begin+Count)'s records and sizes its staging
+  /// buffers. Thread-safe against other chunks' begin/fill/end.
+  bool beginChunk(ChunkScratch &CS, uint64_t Begin, uint64_t Count,
+                  std::string *Error = nullptr) const;
+
+  /// Copies function \p I (must lie in \p CS's range) into the staging
+  /// buffers. \p V must be a view of \p G, \p T its PST, and \p Name the
+  /// name addShape saw — shape drift between the passes asserts. Distinct
+  /// functions may fill the same chunk concurrently.
+  void fill(ChunkScratch &CS, uint64_t I, const Cfg &G, const CfgView &V,
+            const ProgramStructureTree &T, std::string_view Name = {}) const;
+
+  /// Writes the chunk's staged section slices to the file.
+  bool endChunk(ChunkScratch &CS, std::string *Error = nullptr) const;
+
+  /// Streams the file back through a bounded window to compute section
+  /// checksums, writes header + section table, closes the file. The
+  /// writer is spent afterwards.
+  bool finish(std::string *Error = nullptr);
+
+  uint64_t numFunctions() const { return NumFuncs; }
+  /// Total file size; valid after beginFill().
+  uint64_t fileBytes() const { return Layout.FileBytes; }
+  const std::string &path() const { return Path; }
+
+private:
+  bool flushRecords(std::string *Error);
+
+  std::string Path;
+  uint64_t NumFuncs = 0;
+  image::ImageFile *File = nullptr;
+  image::LayoutCursor Cursor;
+  /// Funcs stays empty — records live in the file, not in memory.
+  image::ImageLayout Layout;
+  uint64_t Added = 0;
+  bool Filling = false;
+  /// Pass-1 write-behind buffer for FuncRecords (bounded).
+  std::vector<image::FuncRecord> RecBuf;
+  uint64_t RecsFlushed = 0;
+};
+
+/// Streams \p Path through a bounded window and checks header sanity and
+/// every section checksum — the integrity story of \c CorpusImage::verify
+/// without paying its resident-set cost (mapping + checksumming a 2.5 GB
+/// image would fault every page into RSS; this never holds more than the
+/// window). Structural validation still happens at map time.
+bool verifyImageFile(const std::string &Path, std::string *Error = nullptr);
 
 /// A mapped (or memory-backed) corpus image. Move-only; unmaps on
 /// destruction. All accessors require \c valid().
@@ -280,6 +438,14 @@ public:
   /// mapped arrays); valid while the image lives. Its cycleEquiv() is
   /// empty — the classes are construction input, not serialized state.
   ProgramStructureTree pst(uint64_t I) const;
+
+  /// Drops the resident pages of an mmap-backed image (madvise
+  /// MADV_DONTNEED on the read-only private mapping) so a streaming pass
+  /// over a huge image keeps peak RSS at roughly one working window;
+  /// later accesses refault from the page cache. No-op for memory-backed
+  /// images and on platforms without madvise. Any CfgView/PST previously
+  /// returned stays valid — the mapping itself is untouched.
+  void release() const;
 
   /// Rebuilds a heap-owned \c Cfg (labels included) for function \p I —
   /// the slow path for printers and round-trip rebuilds, not for analysis.

@@ -31,6 +31,7 @@
 #include "pst/runtime/PstScratch.h"
 #include "pst/support/ThreadPool.h"
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -64,6 +65,24 @@ struct FunctionAnalysis {
 /// their own loop (or their own pool) get the same allocation-free path.
 FunctionAnalysis analyzeFunction(const Cfg &G, PstScratch &Scratch,
                                  bool ComputeControlRegions = true);
+
+/// Produces chunk [Begin, Begin+Count) of a corpus into the caller's
+/// (reused) vectors: Graphs[K] / Names[K] hold function Begin + K. The
+/// streaming build calls the producer twice over the same ranges (shape
+/// pass, then fill pass), so it must be replayable: the same range must
+/// yield the same functions both times. \c CorpusStream::next is the
+/// canonical implementation.
+using ChunkProducer =
+    std::function<void(uint64_t Begin, uint64_t Count, std::vector<Cfg> &Graphs,
+                       std::vector<std::string> &Names)>;
+
+/// Receives one finished analysis during a streamed corpus pass. Called on
+/// the calling thread, strictly in function order (workers analyze a
+/// window in parallel, then the window drains through the sink serially);
+/// \p A is scratch owned by the engine and is recycled after the call —
+/// copy out what you keep.
+using AnalysisSink =
+    std::function<void(uint64_t Index, const FunctionAnalysis &A)>;
 
 /// The batch engine. Owns a thread pool and one PstScratch per worker;
 /// reuse one analyzer across corpora to keep both warm.
@@ -99,6 +118,30 @@ public:
   /// the serial twin is \c buildCorpusImage (pst/image).
   std::vector<uint8_t> buildImage(std::span<const Cfg> Fns,
                                   std::span<const std::string> Names = {});
+
+  /// Out-of-core twin of \c buildImage: builds the image of a corpus that
+  /// never exists in memory. \p Produce is invoked over consecutive
+  /// [Begin, Begin+ChunkFunctions) ranges twice — once streaming shapes
+  /// into the \c StreamImageWriter's layout pass, once re-producing each
+  /// chunk for the parallel fill into the pre-sized file at \p Path. Peak
+  /// RSS is proportional to \p ChunkFunctions, never to \p NumFunctions,
+  /// and the file is byte-identical to \c buildImage over the same
+  /// functions at every chunk size and thread count. Returns false with a
+  /// diagnostic on I/O failure.
+  bool buildImageStream(uint64_t NumFunctions, const ChunkProducer &Produce,
+                        size_t ChunkFunctions, const std::string &Path,
+                        std::string *Error = nullptr);
+
+  /// Streaming twin of \c analyzeCorpus(const CorpusImage&): visits the
+  /// image's functions in windows of \p WindowFunctions, analyzing each
+  /// window in parallel into per-slot scratch results, then draining it
+  /// through \p Sink in function order. Between windows the image's
+  /// resident pages are dropped (\c CorpusImage::release), so a pass over
+  /// a multi-gigabyte image holds roughly one window of pages plus one
+  /// window of results — the sink replaces the giant result vector.
+  /// Analysis results are identical to the materializing overload.
+  void analyzeCorpusStream(const CorpusImage &Img, const AnalysisSink &Sink,
+                           size_t WindowFunctions = 4096);
 
   unsigned numWorkers() const { return Pool.numWorkers(); }
   const BatchOptions &options() const { return Opts; }

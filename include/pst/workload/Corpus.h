@@ -20,6 +20,7 @@
 #include "pst/lang/Lower.h"
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pst {
@@ -34,6 +35,15 @@ struct CorpusProgramSpec {
 
 /// The ten programs of the paper's table (21,549 lines, 254 procedures).
 const std::vector<CorpusProgramSpec> &paperCorpusSpec();
+
+/// Derives an RNG seed from the corpus seed and a textual identity (FNV-1a
+/// over the strings, SplitMix64-finalized). Seeding each procedure from
+/// (Seed, Suite, Name) rather than from sequential draws off one generator
+/// makes a procedure's content independent of generation order — the
+/// property every streaming producer (pst/workload CorpusStream) relies on
+/// to emit byte-identical corpora at any chunk size.
+uint64_t deriveProcedureSeed(uint64_t Seed, std::string_view Suite,
+                             std::string_view Name);
 
 /// One generated procedure with its provenance.
 struct CorpusFunction {

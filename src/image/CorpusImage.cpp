@@ -9,11 +9,13 @@
 #include "pst/obs/ScopedTimer.h"
 #include "pst/obs/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PST_IMAGE_HAVE_MMAP 1
@@ -80,14 +82,18 @@ const char *pst::image::sectionName(SectionKind K) {
   return "<unknown>";
 }
 
-uint64_t pst::image::fnv1a(const void *Data, uint64_t Bytes) {
+uint64_t pst::image::fnv1aUpdate(uint64_t H, const void *Data,
+                                 uint64_t Bytes) {
   const uint8_t *P = static_cast<const uint8_t *>(Data);
-  uint64_t H = 0xcbf29ce484222325ull;
   for (uint64_t I = 0; I < Bytes; ++I) {
     H ^= P[I];
     H *= 0x100000001b3ull;
   }
   return H;
+}
+
+uint64_t pst::image::fnv1a(const void *Data, uint64_t Bytes) {
+  return fnv1aUpdate(Fnv1aBasis, Data, Bytes);
 }
 
 namespace {
@@ -121,60 +127,160 @@ uint64_t strBytes(const Cfg &G, std::string_view Name) {
   return B;
 }
 
+/// Element base of section \p K for record \p F: the global element index
+/// at which the function's slice starts. Consecutive functions occupy
+/// consecutive element ranges in every section, so a chunk's slice of any
+/// section is the contiguous range [recBase(first), recBase(one-past-last)).
+uint64_t recBase(const FuncRecord &F, SectionKind K) {
+  switch (K) {
+  case SectionKind::FuncTable:
+    return 0; // Not a per-function fill target (pass-1 output).
+  case SectionKind::SuccOff:
+  case SectionKind::PredOff:
+    return F.CsrBase;
+  case SectionKind::Regions:
+    return F.RegionBase;
+  case SectionKind::NodeRegion:
+  case SectionKind::ImmVal:
+  case SectionKind::NodeLabelOff:
+    return F.NodeBase;
+  case SectionKind::ChildOff:
+  case SectionKind::ImmOff:
+    return F.RegionCsrBase;
+  case SectionKind::ChildVal:
+    return F.ChildBase;
+  case SectionKind::StrTab:
+    return F.NameOff;
+  default:
+    return F.EdgeBase; // Six CSR edge arrays + EdgeRegion/EntryOf/ExitOf.
+  }
+}
+
+/// Copies one function's arrays into per-section storage. \p Sec[K] points
+/// at the byte of section K holding global element index \p Bias[K]: the
+/// in-memory arena passes its section bases with zero bias, the chunk
+/// writer its staging buffers with the chunk's first elements. Both
+/// builders funnel through this one copy routine, so their bytes cannot
+/// diverge. Destination storage must be pre-zeroed (string NULs and
+/// padding are never written explicitly).
+void fillFunctionSlices(uint8_t *const Sec[NumSections],
+                        const uint64_t Bias[NumSections], const FuncRecord &F,
+                        const Cfg &G, const CfgView &V,
+                        const ProgramStructureTree &T, std::string_view Name,
+                        uint64_t StrBytesExpected) {
+  const uint64_t N = F.NumNodes, E = F.NumEdges, R = F.NumRegions;
+  assert(V.numNodes() == N && V.numEdges() == E && T.numRegions() == R &&
+         "fill disagrees with the recorded shape");
+  (void)StrBytesExpected;
+
+  auto Copy32 = [&](SectionKind K, uint64_t Base, const uint32_t *Src,
+                    uint64_t Count) {
+    std::memcpy(Sec[uint32_t(K)] + (Base - Bias[uint32_t(K)]) * 4, Src,
+                Count * 4);
+  };
+  Copy32(SectionKind::SuccOff, F.CsrBase, V.succOff(), N + 1);
+  Copy32(SectionKind::PredOff, F.CsrBase, V.predOff(), N + 1);
+  Copy32(SectionKind::SuccEdge, F.EdgeBase, V.succEdge(), E);
+  Copy32(SectionKind::SuccTo, F.EdgeBase, V.succTo(), E);
+  Copy32(SectionKind::PredEdge, F.EdgeBase, V.predEdge(), E);
+  Copy32(SectionKind::PredFrom, F.EdgeBase, V.predFrom(), E);
+  Copy32(SectionKind::EdgeSrc, F.EdgeBase, V.edgeSrc(), E);
+  Copy32(SectionKind::EdgeDst, F.EdgeBase, V.edgeDst(), E);
+
+  std::memcpy(Sec[uint32_t(SectionKind::Regions)] +
+                  (F.RegionBase - Bias[uint32_t(SectionKind::Regions)]) *
+                      sizeof(SeseRegion),
+              T.regionTable().data(), R * sizeof(SeseRegion));
+  Copy32(SectionKind::NodeRegion, F.NodeBase, T.nodeRegionTable().data(), N);
+  Copy32(SectionKind::EdgeRegion, F.EdgeBase, T.edgeRegionTable().data(), E);
+  Copy32(SectionKind::EntryOf, F.EdgeBase, T.entryOfTable().data(), E);
+  Copy32(SectionKind::ExitOf, F.EdgeBase, T.exitOfTable().data(), E);
+  Copy32(SectionKind::ChildOff, F.RegionCsrBase, T.childOffTable().data(),
+         R + 1);
+  Copy32(SectionKind::ChildVal, F.ChildBase, T.childValTable().data(), R - 1);
+  Copy32(SectionKind::ImmOff, F.RegionCsrBase, T.immOffTable().data(), R + 1);
+  Copy32(SectionKind::ImmVal, F.NodeBase, T.immValTable().data(), N);
+
+  const uint64_t StrBias = Bias[uint32_t(SectionKind::StrTab)];
+  char *Str = reinterpret_cast<char *>(Sec[uint32_t(SectionKind::StrTab)]);
+  uint64_t *LabelOff =
+      reinterpret_cast<uint64_t *>(Sec[uint32_t(SectionKind::NodeLabelOff)]) +
+      (F.NodeBase - Bias[uint32_t(SectionKind::NodeLabelOff)]);
+  // `At` stays an absolute StrTab offset — the *stored* label offsets are
+  // absolute regardless of where the bytes are being staged.
+  uint64_t At = F.NameOff;
+  std::memcpy(Str + (At - StrBias), Name.data(), Name.size());
+  At += Name.size() + 1; // Storage is zeroed, so the NUL is already there.
+  for (NodeId Nd = 0; Nd < N; ++Nd) {
+    const std::string &L = G.node(Nd).Label;
+    LabelOff[Nd] = At;
+    std::memcpy(Str + (At - StrBias), L.data(), L.size());
+    At += L.size() + 1;
+  }
+  assert(At == F.NameOff + StrBytesExpected && "string bytes drifted");
+}
+
 } // namespace
 
-ImageLayout
-pst::image::computeCorpusLayout(std::span<const FunctionShape> Shapes) {
-  ImageLayout L;
-  L.Funcs.resize(Shapes.size());
+FunctionShape pst::image::functionShape(const Cfg &G,
+                                        const ProgramStructureTree &T,
+                                        std::string_view Name) {
+  FunctionShape S;
+  S.NumNodes = G.numNodes();
+  S.NumEdges = G.numEdges();
+  S.NumRegions = T.numRegions();
+  S.Entry = G.entry();
+  S.Exit = G.exit();
+  S.StrBytes = strBytes(G, Name);
+  return S;
+}
 
-  // The offset-table fixup pass: running element totals become per-function
-  // bases. All accumulators are 64-bit; per-function counts are 32-bit.
-  uint64_t Nodes = 0, Edges = 0, Csr = 0, Regions = 0, RegionCsr = 0,
-           Children = 0, Str = 0;
-  for (size_t I = 0; I < Shapes.size(); ++I) {
-    const FunctionShape &S = Shapes[I];
-    assert(S.NumRegions >= 1 && "a PST always has its synthetic root");
-    FuncRecord &F = L.Funcs[I];
-    F.NodeBase = Nodes;
-    F.EdgeBase = Edges;
-    F.CsrBase = Csr;
-    F.RegionBase = Regions;
-    F.RegionCsrBase = RegionCsr;
-    F.ChildBase = Children;
-    F.NameOff = Str;
-    F.NumNodes = S.NumNodes;
-    F.NumEdges = S.NumEdges;
-    F.NumRegions = S.NumRegions;
-    F.Entry = S.Entry;
-    F.Exit = S.Exit;
-    Nodes += S.NumNodes;
-    Edges += S.NumEdges;
-    Csr += uint64_t(S.NumNodes) + 1;
-    Regions += S.NumRegions;
-    RegionCsr += uint64_t(S.NumRegions) + 1;
-    Children += S.NumRegions - 1;
-    Str += S.StrBytes;
-  }
+FuncRecord pst::image::LayoutCursor::append(const FunctionShape &S) {
+  assert(S.NumRegions >= 1 && "a PST always has its synthetic root");
+  FuncRecord F;
+  F.NodeBase = Nodes;
+  F.EdgeBase = Edges;
+  F.CsrBase = Csr;
+  F.RegionBase = Regions;
+  F.RegionCsrBase = RegionCsr;
+  F.ChildBase = Children;
+  F.NameOff = Str;
+  F.NumNodes = S.NumNodes;
+  F.NumEdges = S.NumEdges;
+  F.NumRegions = S.NumRegions;
+  F.Entry = S.Entry;
+  F.Exit = S.Exit;
+  Nodes += S.NumNodes;
+  Edges += S.NumEdges;
+  Csr += uint64_t(S.NumNodes) + 1;
+  Regions += S.NumRegions;
+  RegionCsr += uint64_t(S.NumRegions) + 1;
+  Children += S.NumRegions - 1;
+  Str += S.StrBytes;
+  return F;
+}
 
+void pst::image::finalizeSectionLayout(uint64_t NumFunctions,
+                                       const LayoutCursor &Cur,
+                                       ImageLayout &L) {
   uint64_t (&SB)[NumSections] = L.SectionBytes;
-  SB[uint32_t(SectionKind::FuncTable)] = Shapes.size() * sizeof(FuncRecord);
-  SB[uint32_t(SectionKind::SuccOff)] = Csr * 4;
-  SB[uint32_t(SectionKind::PredOff)] = Csr * 4;
+  SB[uint32_t(SectionKind::FuncTable)] = NumFunctions * sizeof(FuncRecord);
+  SB[uint32_t(SectionKind::SuccOff)] = Cur.Csr * 4;
+  SB[uint32_t(SectionKind::PredOff)] = Cur.Csr * 4;
   for (SectionKind K : {SectionKind::SuccEdge, SectionKind::SuccTo,
                         SectionKind::PredEdge, SectionKind::PredFrom,
                         SectionKind::EdgeSrc, SectionKind::EdgeDst,
                         SectionKind::EdgeRegion, SectionKind::EntryOf,
                         SectionKind::ExitOf})
-    SB[uint32_t(K)] = Edges * 4;
-  SB[uint32_t(SectionKind::Regions)] = Regions * sizeof(SeseRegion);
-  SB[uint32_t(SectionKind::NodeRegion)] = Nodes * 4;
-  SB[uint32_t(SectionKind::ChildOff)] = RegionCsr * 4;
-  SB[uint32_t(SectionKind::ChildVal)] = Children * 4;
-  SB[uint32_t(SectionKind::ImmOff)] = RegionCsr * 4;
-  SB[uint32_t(SectionKind::ImmVal)] = Nodes * 4;
-  SB[uint32_t(SectionKind::NodeLabelOff)] = Nodes * 8;
-  SB[uint32_t(SectionKind::StrTab)] = Str;
+    SB[uint32_t(K)] = Cur.Edges * 4;
+  SB[uint32_t(SectionKind::Regions)] = Cur.Regions * sizeof(SeseRegion);
+  SB[uint32_t(SectionKind::NodeRegion)] = Cur.Nodes * 4;
+  SB[uint32_t(SectionKind::ChildOff)] = Cur.RegionCsr * 4;
+  SB[uint32_t(SectionKind::ChildVal)] = Cur.Children * 4;
+  SB[uint32_t(SectionKind::ImmOff)] = Cur.RegionCsr * 4;
+  SB[uint32_t(SectionKind::ImmVal)] = Cur.Nodes * 4;
+  SB[uint32_t(SectionKind::NodeLabelOff)] = Cur.Nodes * 8;
+  SB[uint32_t(SectionKind::StrTab)] = Cur.Str;
 
   uint64_t Off =
       alignUp(sizeof(ImageHeader) + uint64_t(NumSections) * sizeof(SectionDesc));
@@ -183,6 +289,18 @@ pst::image::computeCorpusLayout(std::span<const FunctionShape> Shapes) {
     Off = alignUp(Off + L.SectionBytes[K]);
   }
   L.FileBytes = Off;
+}
+
+ImageLayout
+pst::image::computeCorpusLayout(std::span<const FunctionShape> Shapes) {
+  ImageLayout L;
+  L.Funcs.resize(Shapes.size());
+  // The offset-table fixup pass: running element totals become per-function
+  // bases. All accumulators are 64-bit; per-function counts are 32-bit.
+  LayoutCursor Cur;
+  for (size_t I = 0; I < Shapes.size(); ++I)
+    L.Funcs[I] = Cur.append(Shapes[I]);
+  finalizeSectionLayout(Shapes.size(), Cur, L);
   return L;
 }
 
@@ -197,13 +315,7 @@ void CorpusImageBuilder::setShape(size_t I, const Cfg &G,
                                   const ProgramStructureTree &T,
                                   std::string_view Name) {
   assert(I < Shapes.size() && !LaidOut && "setShape after layout");
-  FunctionShape &S = Shapes[I];
-  S.NumNodes = G.numNodes();
-  S.NumEdges = G.numEdges();
-  S.NumRegions = T.numRegions();
-  S.Entry = G.entry();
-  S.Exit = G.exit();
-  S.StrBytes = strBytes(G, Name);
+  Shapes[I] = functionShape(G, T, Name);
 }
 
 void CorpusImageBuilder::layout() {
@@ -225,50 +337,12 @@ void CorpusImageBuilder::fill(size_t I, const Cfg &G, const CfgView &V,
                               const ProgramStructureTree &T,
                               std::string_view Name) {
   assert(LaidOut && "fill before layout");
-  const FuncRecord &F = Layout.Funcs[I];
-  const uint64_t N = F.NumNodes, E = F.NumEdges, R = F.NumRegions;
-  assert(V.numNodes() == N && V.numEdges() == E && T.numRegions() == R &&
-         "fill disagrees with setShape");
-
-  auto Copy32 = [&](SectionKind K, uint64_t Base, const uint32_t *Src,
-                    uint64_t Count) {
-    std::memcpy(sectionData(K) + Base * 4, Src, Count * 4);
-  };
-  Copy32(SectionKind::SuccOff, F.CsrBase, V.succOff(), N + 1);
-  Copy32(SectionKind::PredOff, F.CsrBase, V.predOff(), N + 1);
-  Copy32(SectionKind::SuccEdge, F.EdgeBase, V.succEdge(), E);
-  Copy32(SectionKind::SuccTo, F.EdgeBase, V.succTo(), E);
-  Copy32(SectionKind::PredEdge, F.EdgeBase, V.predEdge(), E);
-  Copy32(SectionKind::PredFrom, F.EdgeBase, V.predFrom(), E);
-  Copy32(SectionKind::EdgeSrc, F.EdgeBase, V.edgeSrc(), E);
-  Copy32(SectionKind::EdgeDst, F.EdgeBase, V.edgeDst(), E);
-
-  std::memcpy(sectionData(SectionKind::Regions) +
-                  F.RegionBase * sizeof(SeseRegion),
-              T.regionTable().data(), R * sizeof(SeseRegion));
-  Copy32(SectionKind::NodeRegion, F.NodeBase, T.nodeRegionTable().data(), N);
-  Copy32(SectionKind::EdgeRegion, F.EdgeBase, T.edgeRegionTable().data(), E);
-  Copy32(SectionKind::EntryOf, F.EdgeBase, T.entryOfTable().data(), E);
-  Copy32(SectionKind::ExitOf, F.EdgeBase, T.exitOfTable().data(), E);
-  Copy32(SectionKind::ChildOff, F.RegionCsrBase, T.childOffTable().data(),
-         R + 1);
-  Copy32(SectionKind::ChildVal, F.ChildBase, T.childValTable().data(), R - 1);
-  Copy32(SectionKind::ImmOff, F.RegionCsrBase, T.immOffTable().data(), R + 1);
-  Copy32(SectionKind::ImmVal, F.NodeBase, T.immValTable().data(), N);
-
-  char *Str = reinterpret_cast<char *>(sectionData(SectionKind::StrTab));
-  uint64_t *LabelOff =
-      reinterpret_cast<uint64_t *>(sectionData(SectionKind::NodeLabelOff));
-  uint64_t At = F.NameOff;
-  std::memcpy(Str + At, Name.data(), Name.size());
-  At += Name.size() + 1; // Arena is zeroed, so the NUL is already there.
-  for (NodeId Nd = 0; Nd < N; ++Nd) {
-    const std::string &L = G.node(Nd).Label;
-    LabelOff[F.NodeBase + Nd] = At;
-    std::memcpy(Str + At, L.data(), L.size());
-    At += L.size() + 1;
-  }
-  assert(At == F.NameOff + Shapes[I].StrBytes && "string bytes drifted");
+  uint8_t *Sec[NumSections];
+  for (uint32_t K = 0; K < NumSections; ++K)
+    Sec[K] = sectionData(SectionKind(K));
+  static constexpr uint64_t ZeroBias[NumSections] = {};
+  fillFunctionSlices(Sec, ZeroBias, Layout.Funcs[I], G, V, T, Name,
+                     Shapes[I].StrBytes);
 }
 
 std::vector<uint8_t> CorpusImageBuilder::finish() {
@@ -457,7 +531,28 @@ bool CorpusImage::attach(std::string *Error) {
     return fail(Error, "corpus image string table is not NUL-terminated");
 
   // Per-function bounds: every slice must land inside its global array.
-  for (uint64_t I = 0; I < Hdr->NumFunctions; ++I) {
+  // The walk reads every FuncRecord — 80 MB at a million functions — so on
+  // a mapped image the validated record pages are dropped block by block
+  // (they fault back in on demand); the walk's resident footprint stays
+  // one block regardless of corpus size.
+  const uint64_t BlockFns = uint64_t(1) << 16;
+#if PST_IMAGE_HAVE_MMAP
+  auto DropValidatedRecords = [&](uint64_t BeginFn, uint64_t EndFn) {
+    if (!MapAddr)
+      return;
+    const uintptr_t Page = uintptr_t(::sysconf(_SC_PAGESIZE));
+    const uintptr_t TabBase =
+        uintptr_t(Base) + Sections[uint32_t(SectionKind::FuncTable)].Offset;
+    uintptr_t Lo =
+        (TabBase + BeginFn * sizeof(FuncRecord) + Page - 1) & ~(Page - 1);
+    uintptr_t Hi = (TabBase + EndFn * sizeof(FuncRecord)) & ~(Page - 1);
+    if (Hi > Lo)
+      ::madvise(reinterpret_cast<void *>(Lo), Hi - Lo, MADV_DONTNEED);
+  };
+#endif
+  for (uint64_t Block = 0; Block < Hdr->NumFunctions; Block += BlockFns) {
+    const uint64_t BlockEnd = std::min(Hdr->NumFunctions, Block + BlockFns);
+    for (uint64_t I = Block; I < BlockEnd; ++I) {
     const FuncRecord &F = Funcs[I];
     auto Bad = [&](const char *What) {
       return fail(Error, "corpus image function " + std::to_string(I) +
@@ -486,6 +581,10 @@ bool CorpusImage::attach(std::string *Error) {
     if (F.Entry >= F.NumNodes || F.Exit >= F.NumNodes)
       return fail(Error, "corpus image function " + std::to_string(I) +
                              " has an out-of-range entry or exit node");
+    }
+#if PST_IMAGE_HAVE_MMAP
+    DropValidatedRecords(Block, BlockEnd);
+#endif
   }
 
   PST_COUNTER("image.map.functions", Hdr->NumFunctions);
@@ -572,6 +671,15 @@ bool CorpusImage::verify(std::string *Error) const {
                       sectionName(SectionKind(K)) + " (section " +
                       std::to_string(K) + "): the image is corrupted");
   return true;
+}
+
+void CorpusImage::release() const {
+#if PST_IMAGE_HAVE_MMAP
+  // Read-only MAP_PRIVATE with no dirty pages: DONTNEED just drops the
+  // resident pages; later accesses refault from the page cache.
+  if (MapAddr)
+    ::madvise(MapAddr, MapLen, MADV_DONTNEED);
+#endif
 }
 
 std::string_view CorpusImage::functionName(uint64_t I) const {
@@ -681,5 +789,471 @@ bool pst::writeImageFile(const std::string &Path,
   Out.close();
   if (!Out)
     return fail(Error, "write to '" + Path + "' failed");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// StreamImageWriter: the out-of-core builder
+//===----------------------------------------------------------------------===//
+
+namespace pst {
+namespace image {
+
+/// Thin positional-I/O file wrapper. On POSIX it is a plain fd — pread and
+/// pwrite at distinct offsets are thread-safe, which is what lets chunks
+/// stage and land concurrently, and writes go through the kernel page
+/// cache, so dirty image bytes never count toward the process's resident
+/// set. The portability fallback serializes seek+read/write on a stdio
+/// stream behind a mutex.
+struct ImageFile {
+#if PST_IMAGE_HAVE_MMAP
+  int Fd = -1;
+#else
+  std::FILE *Fp = nullptr;
+  std::mutex M;
+#endif
+
+  static ImageFile *openWrite(const std::string &Path);
+  static ImageFile *openRead(const std::string &Path);
+  void close();
+  bool pwriteAll(const void *Data, uint64_t Bytes, uint64_t Off);
+  bool preadAll(void *Data, uint64_t Bytes, uint64_t Off);
+  /// Pre-sizes the file to exactly \p Bytes; unwritten holes read as zero.
+  bool presize(uint64_t Bytes);
+  uint64_t size();
+};
+
+#if PST_IMAGE_HAVE_MMAP
+
+ImageFile *ImageFile::openWrite(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return nullptr;
+  auto *F = new ImageFile;
+  F->Fd = Fd;
+  return F;
+}
+
+ImageFile *ImageFile::openRead(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return nullptr;
+  auto *F = new ImageFile;
+  F->Fd = Fd;
+  return F;
+}
+
+void ImageFile::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+bool ImageFile::pwriteAll(const void *Data, uint64_t Bytes, uint64_t Off) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  while (Bytes) {
+    ssize_t N = ::pwrite(Fd, P, size_t(Bytes), off_t(Off));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Off += uint64_t(N);
+    Bytes -= uint64_t(N);
+  }
+  return true;
+}
+
+bool ImageFile::preadAll(void *Data, uint64_t Bytes, uint64_t Off) {
+  uint8_t *P = static_cast<uint8_t *>(Data);
+  while (Bytes) {
+    ssize_t N = ::pread(Fd, P, size_t(Bytes), off_t(Off));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // Unexpected EOF.
+    P += N;
+    Off += uint64_t(N);
+    Bytes -= uint64_t(N);
+  }
+  return true;
+}
+
+bool ImageFile::presize(uint64_t Bytes) {
+  return ::ftruncate(Fd, off_t(Bytes)) == 0;
+}
+
+uint64_t ImageFile::size() {
+  struct stat St;
+  if (::fstat(Fd, &St) != 0)
+    return 0;
+  return uint64_t(St.st_size);
+}
+
+#else // !PST_IMAGE_HAVE_MMAP
+
+ImageFile *ImageFile::openWrite(const std::string &Path) {
+  std::FILE *Fp = std::fopen(Path.c_str(), "wb+");
+  if (!Fp)
+    return nullptr;
+  auto *F = new ImageFile;
+  F->Fp = Fp;
+  return F;
+}
+
+ImageFile *ImageFile::openRead(const std::string &Path) {
+  std::FILE *Fp = std::fopen(Path.c_str(), "rb");
+  if (!Fp)
+    return nullptr;
+  auto *F = new ImageFile;
+  F->Fp = Fp;
+  return F;
+}
+
+void ImageFile::close() {
+  if (Fp)
+    std::fclose(Fp);
+  Fp = nullptr;
+}
+
+bool ImageFile::pwriteAll(const void *Data, uint64_t Bytes, uint64_t Off) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (std::fseek(Fp, long(Off), SEEK_SET) != 0)
+    return false;
+  return std::fwrite(Data, 1, size_t(Bytes), Fp) == Bytes;
+}
+
+bool ImageFile::preadAll(void *Data, uint64_t Bytes, uint64_t Off) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::fflush(Fp); // Positioning between write and read is required.
+  if (std::fseek(Fp, long(Off), SEEK_SET) != 0)
+    return false;
+  return std::fread(Data, 1, size_t(Bytes), Fp) == Bytes;
+}
+
+bool ImageFile::presize(uint64_t Bytes) {
+  if (Bytes == 0)
+    return true;
+  std::lock_guard<std::mutex> Lock(M);
+  // Writing the last byte extends the file; the gap reads back as zero.
+  if (std::fseek(Fp, long(Bytes - 1), SEEK_SET) != 0)
+    return false;
+  return std::fputc(0, Fp) == 0;
+}
+
+uint64_t ImageFile::size() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (std::fseek(Fp, 0, SEEK_END) != 0)
+    return 0;
+  long N = std::ftell(Fp);
+  return N < 0 ? 0 : uint64_t(N);
+}
+
+#endif // PST_IMAGE_HAVE_MMAP
+
+} // namespace image
+} // namespace pst
+
+namespace {
+
+/// FuncTable is the first section, so its file offset is fixed by the
+/// header + section-table size alone — which is what lets pass 1 stream
+/// FuncRecords into the file before the rest of the layout exists.
+uint64_t funcTableOffset() {
+  return alignUp(sizeof(ImageHeader) +
+                 uint64_t(NumSections) * sizeof(SectionDesc));
+}
+
+/// Pass-1 write-behind granularity: 4096 records = 320 KiB.
+constexpr size_t RecBufCap = 4096;
+/// Bounded buffer for finish()/verifyImageFile() streaming reads.
+constexpr uint64_t IoWindow = 8ull << 20;
+
+/// Closes and frees an ImageFile on scope exit.
+struct FileCloser {
+  ImageFile *F;
+  ~FileCloser() {
+    if (F) {
+      F->close();
+      delete F;
+    }
+  }
+};
+
+} // namespace
+
+StreamImageWriter::StreamImageWriter(std::string P, uint64_t NumFunctions)
+    : Path(std::move(P)), NumFuncs(NumFunctions) {
+  File = ImageFile::openWrite(Path);
+  RecBuf.reserve(size_t(std::min<uint64_t>(NumFuncs, RecBufCap)));
+}
+
+StreamImageWriter::~StreamImageWriter() {
+  if (File) {
+    File->close();
+    delete File;
+    File = nullptr;
+  }
+}
+
+bool StreamImageWriter::flushRecords(std::string *Error) {
+  if (RecBuf.empty())
+    return true;
+  const uint64_t Off = funcTableOffset() + RecsFlushed * sizeof(FuncRecord);
+  if (!File->pwriteAll(RecBuf.data(), RecBuf.size() * sizeof(FuncRecord), Off))
+    return fail(Error, "write to '" + Path + "' failed: " +
+                           std::strerror(errno));
+  RecsFlushed += RecBuf.size();
+  RecBuf.clear();
+  return true;
+}
+
+bool StreamImageWriter::addShape(const image::FunctionShape &S,
+                                 std::string *Error) {
+  if (!File)
+    return fail(Error, "stream image writer for '" + Path + "' is not open");
+  assert(!Filling && "addShape after beginFill");
+  assert(Added < NumFuncs && "more shapes than declared functions");
+  RecBuf.push_back(Cursor.append(S));
+  ++Added;
+  if (RecBuf.size() >= RecBufCap)
+    return flushRecords(Error);
+  return true;
+}
+
+bool StreamImageWriter::addShape(const Cfg &G, const ProgramStructureTree &T,
+                                 std::string_view Name, std::string *Error) {
+  return addShape(functionShape(G, T, Name), Error);
+}
+
+bool StreamImageWriter::beginFill(std::string *Error) {
+  if (!File)
+    return fail(Error, "stream image writer for '" + Path + "' is not open");
+  assert(!Filling && "beginFill runs once");
+  if (Added != NumFuncs)
+    return fail(Error, "stream image shape pass saw " + std::to_string(Added) +
+                           " functions but " + std::to_string(NumFuncs) +
+                           " were declared");
+  PST_SPAN("image.stream.layout");
+  if (!flushRecords(Error))
+    return false;
+  finalizeSectionLayout(NumFuncs, Cursor, Layout);
+  assert(Layout.SectionOffset[uint32_t(SectionKind::FuncTable)] ==
+             funcTableOffset() &&
+         "FuncTable moved; pass-1 records landed at the wrong offset");
+  // Pre-size the whole file: unwritten holes read back as zero, which is
+  // exactly the in-memory arena's zeroed padding.
+  if (!File->presize(Layout.FileBytes))
+    return fail(Error, "cannot pre-size '" + Path + "' to " +
+                           std::to_string(Layout.FileBytes) +
+                           " bytes: " + std::strerror(errno));
+  PST_VALUE("image.stream.bytes", double(Layout.FileBytes));
+  PST_VALUE("image.stream.functions", double(NumFuncs));
+  Filling = true;
+  return true;
+}
+
+bool StreamImageWriter::beginChunk(ChunkScratch &CS, uint64_t Begin,
+                                   uint64_t Count, std::string *Error) const {
+  assert(Filling && "beginChunk before beginFill");
+  assert(Begin + Count <= NumFuncs && "chunk out of range");
+  CS.Begin = Begin;
+  CS.Count = Count;
+  CS.Recs.resize(size_t(Count) + 1);
+  // The chunk's records plus one lookahead: the sentinel's bases are the
+  // chunk's end elements. The tail chunk synthesizes it from the totals.
+  const uint64_t Lookahead = (Begin + Count < NumFuncs) ? Count + 1 : Count;
+  if (Lookahead &&
+      !File->preadAll(CS.Recs.data(), Lookahead * sizeof(FuncRecord),
+                      funcTableOffset() + Begin * sizeof(FuncRecord)))
+    return fail(Error,
+                "read of '" + Path + "' function records failed");
+  if (Lookahead == Count) {
+    FuncRecord &End = CS.Recs[size_t(Count)];
+    End = FuncRecord();
+    End.NodeBase = Cursor.Nodes;
+    End.EdgeBase = Cursor.Edges;
+    End.CsrBase = Cursor.Csr;
+    End.RegionBase = Cursor.Regions;
+    End.RegionCsrBase = Cursor.RegionCsr;
+    End.ChildBase = Cursor.Children;
+    End.NameOff = Cursor.Str;
+  }
+  const FuncRecord &First = CS.Recs.front();
+  const FuncRecord &End = CS.Recs[size_t(Count)];
+  for (uint32_t K = 0; K < NumSections; ++K) {
+    if (K == uint32_t(SectionKind::FuncTable)) {
+      CS.Buf[K].clear(); // Records are pass-1 output, not chunk payload.
+      continue;
+    }
+    const uint64_t Elems =
+        recBase(End, SectionKind(K)) - recBase(First, SectionKind(K));
+    // assign() zeroes: staged NULs/padding match the zeroed arena.
+    CS.Buf[K].assign(size_t(Elems * elemSize(SectionKind(K))), 0);
+  }
+  return true;
+}
+
+void StreamImageWriter::fill(ChunkScratch &CS, uint64_t I, const Cfg &G,
+                             const CfgView &V, const ProgramStructureTree &T,
+                             std::string_view Name) const {
+  assert(Filling && "fill before beginFill");
+  assert(I >= CS.Begin && I < CS.Begin + CS.Count && "function outside chunk");
+  const FuncRecord &F = CS.Recs[size_t(I - CS.Begin)];
+  uint8_t *Sec[NumSections];
+  uint64_t Bias[NumSections];
+  for (uint32_t K = 0; K < NumSections; ++K) {
+    Sec[K] = CS.Buf[K].data();
+    Bias[K] = recBase(CS.Recs.front(), SectionKind(K));
+  }
+  fillFunctionSlices(Sec, Bias, F, G, V, T, Name,
+                     CS.Recs[size_t(I - CS.Begin) + 1].NameOff - F.NameOff);
+}
+
+bool StreamImageWriter::endChunk(ChunkScratch &CS, std::string *Error) const {
+  assert(Filling && "endChunk before beginFill");
+  PST_SPAN("image.stream.fill");
+  uint64_t Bytes = 0;
+  const FuncRecord &First = CS.Recs.front();
+  for (uint32_t K = 0; K < NumSections; ++K) {
+    if (CS.Buf[K].empty())
+      continue;
+    const uint64_t Off =
+        Layout.SectionOffset[K] +
+        recBase(First, SectionKind(K)) * elemSize(SectionKind(K));
+    if (!File->pwriteAll(CS.Buf[K].data(), CS.Buf[K].size(), Off))
+      return fail(Error, "write to '" + Path + "' failed: " +
+                             std::strerror(errno));
+    Bytes += CS.Buf[K].size();
+  }
+  PST_COUNTER("image.stream.chunks", 1);
+  PST_COUNTER("image.stream.chunk_functions", CS.Count);
+  PST_COUNTER("image.stream.chunk_bytes", Bytes);
+  return true;
+}
+
+bool StreamImageWriter::finish(std::string *Error) {
+  if (!File)
+    return fail(Error, "stream image writer for '" + Path + "' is not open");
+  assert(Filling && "finish before beginFill");
+  PST_SPAN("image.stream.finish");
+
+  // One bounded-window read back over the file computes the section
+  // checksums; FNV-1a is sequential, so windows chain exactly.
+  std::vector<SectionDesc> Sections(NumSections);
+  std::vector<uint8_t> Window(IoWindow);
+  for (uint32_t K = 0; K < NumSections; ++K) {
+    SectionDesc &D = Sections[K];
+    D.Kind = K;
+    D.Offset = Layout.SectionOffset[K];
+    D.Bytes = Layout.SectionBytes[K];
+    uint64_t Sum = Fnv1aBasis;
+    for (uint64_t At = 0; At < D.Bytes;) {
+      const uint64_t N = std::min<uint64_t>(IoWindow, D.Bytes - At);
+      if (!File->preadAll(Window.data(), N, D.Offset + At))
+        return fail(Error, "read back of '" + Path + "' failed");
+      Sum = fnv1aUpdate(Sum, Window.data(), N);
+      At += N;
+    }
+    D.Checksum = Sum;
+  }
+
+  ImageHeader H;
+  std::memcpy(H.MagicBytes, Magic, sizeof(Magic));
+  H.Version = FormatVersion;
+  H.Endian = EndianTag;
+  H.FileBytes = Layout.FileBytes;
+  H.NumFunctions = NumFuncs;
+  H.SectionCount = NumSections;
+  H.FuncRecordBytes = sizeof(FuncRecord);
+  if (!File->pwriteAll(&H, sizeof(H), 0) ||
+      !File->pwriteAll(Sections.data(),
+                       Sections.size() * sizeof(SectionDesc),
+                       sizeof(ImageHeader)))
+    return fail(Error, "write to '" + Path + "' failed: " +
+                           std::strerror(errno));
+  File->close();
+  delete File;
+  File = nullptr;
+  PST_COUNTER("image.stream.images", 1);
+  return true;
+}
+
+bool pst::verifyImageFile(const std::string &Path, std::string *Error) {
+  PST_SPAN("image.stream.verify");
+  ImageFile *File = ImageFile::openRead(Path);
+  if (!File)
+    return fail(Error, "cannot open corpus image '" + Path +
+                           "': " + std::strerror(errno));
+  FileCloser Guard{File};
+
+  const uint64_t Actual = File->size();
+  ImageHeader H;
+  if (Actual < sizeof(H) || !File->preadAll(&H, sizeof(H), 0))
+    return fail(Error, "corpus image truncated: " + std::to_string(Actual) +
+                           " bytes is smaller than the " +
+                           std::to_string(sizeof(H)) + "-byte header");
+  if (std::memcmp(H.MagicBytes, Magic, sizeof(Magic)) != 0)
+    return fail(Error, "not a corpus image: bad magic (expected \"PSTIMG01\")");
+  if (H.Endian != EndianTag)
+    return fail(Error, "corpus image endianness mismatch: the image was "
+                       "written on a different-endian host");
+  if (H.Version != FormatVersion)
+    return fail(Error, "unsupported corpus image format version " +
+                           std::to_string(H.Version) +
+                           " (this reader understands version " +
+                           std::to_string(FormatVersion) + ")");
+  if (H.FuncRecordBytes != sizeof(FuncRecord))
+    return fail(Error, "corpus image function records are " +
+                           std::to_string(H.FuncRecordBytes) +
+                           " bytes; this reader expects " +
+                           std::to_string(sizeof(FuncRecord)));
+  if (H.FileBytes != Actual)
+    return fail(Error, "corpus image truncated: file is " +
+                           std::to_string(Actual) +
+                           " bytes but the header records " +
+                           std::to_string(H.FileBytes));
+  if (H.SectionCount != NumSections)
+    return fail(Error, "corpus image has " + std::to_string(H.SectionCount) +
+                           " sections; format version 1 defines " +
+                           std::to_string(NumSections));
+
+  const uint64_t TableEnd =
+      sizeof(ImageHeader) + uint64_t(NumSections) * sizeof(SectionDesc);
+  std::vector<SectionDesc> Sections(NumSections);
+  if (TableEnd > Actual ||
+      !File->preadAll(Sections.data(), NumSections * sizeof(SectionDesc),
+                      sizeof(ImageHeader)))
+    return fail(Error, "corpus image truncated inside the section table");
+
+  std::vector<uint8_t> Window(IoWindow);
+  for (uint32_t K = 0; K < NumSections; ++K) {
+    const SectionDesc &D = Sections[K];
+    std::string Name = std::string(sectionName(SectionKind(K))) +
+                       " (section " + std::to_string(K) + ")";
+    if (D.Kind != K)
+      return fail(Error, "corpus image section table corrupt: slot " +
+                             std::to_string(K) + " holds kind " +
+                             std::to_string(D.Kind));
+    if (D.Offset < TableEnd || D.Offset > Actual ||
+        D.Bytes > Actual - D.Offset)
+      return fail(Error, "corpus image truncated: section " + Name +
+                             " extends past the end of the file");
+    uint64_t Sum = Fnv1aBasis;
+    for (uint64_t At = 0; At < D.Bytes;) {
+      const uint64_t N = std::min<uint64_t>(IoWindow, D.Bytes - At);
+      if (!File->preadAll(Window.data(), N, D.Offset + At))
+        return fail(Error, "read of corpus image '" + Path + "' failed");
+      Sum = fnv1aUpdate(Sum, Window.data(), N);
+      At += N;
+    }
+    if (Sum != D.Checksum)
+      return fail(Error, "corpus image checksum mismatch in section " + Name +
+                             ": the image is corrupted");
+  }
   return true;
 }

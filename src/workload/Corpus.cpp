@@ -14,16 +14,13 @@
 
 using namespace pst;
 
-namespace {
-
-/// Derives an RNG seed from the corpus seed and a textual identity
-/// (FNV-1a over the strings, finalized SplitMix-style). Seeding each
+/// FNV-1a over the strings, finalized SplitMix-style. Seeding each
 /// procedure from (Seed, Suite, Name) rather than from sequential draws
 /// off one generator means a procedure's content does not depend on how
 /// many draws earlier procedures consumed — so the corpus is stable under
-/// reordering, subsetting, or parallel generation of its programs.
-uint64_t deriveSeed(uint64_t Seed, std::string_view Suite,
-                    std::string_view Name) {
+/// reordering, subsetting, parallel generation, or chunked streaming.
+uint64_t pst::deriveProcedureSeed(uint64_t Seed, std::string_view Suite,
+                                  std::string_view Name) {
   uint64_t H = 0xcbf29ce484222325ULL ^ Seed;
   auto Mix = [&H](std::string_view S) {
     for (char C : S) {
@@ -43,8 +40,6 @@ uint64_t deriveSeed(uint64_t Seed, std::string_view Suite,
   H ^= H >> 31;
   return H;
 }
-
-} // namespace
 
 const std::vector<CorpusProgramSpec> &pst::paperCorpusSpec() {
   static const std::vector<CorpusProgramSpec> Spec = {
@@ -70,7 +65,7 @@ std::vector<CorpusFunction> pst::generatePaperCorpus(uint64_t Seed) {
     // (most procedures small, a few hundreds of statements). The weights
     // use a program-identity generator so every program's split is fixed
     // no matter which programs are generated around it.
-    Rng ProgramR(deriveSeed(Seed, P.Suite, P.Name));
+    Rng ProgramR(deriveProcedureSeed(Seed, P.Suite, P.Name));
     std::vector<double> W(P.Procedures);
     double Total = 0;
     for (double &X : W) {
@@ -86,7 +81,7 @@ std::vector<CorpusFunction> pst::generatePaperCorpus(uint64_t Seed) {
       // stream — never from a shared sequential one — so procedure
       // content is independent of generation order.
       std::string FnName = std::string(P.Name) + "_p" + std::to_string(I);
-      Rng R(deriveSeed(Seed, P.Suite, FnName));
+      Rng R(deriveProcedureSeed(Seed, P.Suite, FnName));
 
       ProgramGenOptions Opts;
       Opts.TargetStatements = Target;

@@ -1,0 +1,67 @@
+//===- CorpusStream.cpp - Streaming corpus producer ----------------------------===//
+//
+// Part of the PST library (see CfgGenerators.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/workload/CorpusStream.h"
+
+#include "pst/obs/ScopedTimer.h"
+#include "pst/obs/Telemetry.h"
+#include "pst/workload/CfgGenerators.h"
+#include "pst/workload/Corpus.h"
+
+using namespace pst;
+
+void pst::generateStreamFunction(const StreamCorpusOptions &Opts,
+                                 uint64_t Index, Cfg &G, std::string &Name) {
+  Name.clear();
+  Name += "gen_p";
+  Name += std::to_string(Index);
+  // The function's whole RNG stream hangs off (Seed, "stream", Name):
+  // regeneration at any position in any chunk replays it exactly.
+  Rng R(deriveProcedureSeed(Opts.Seed, "stream", Name));
+
+  // The benches' generated-corpus mix: mostly small random graphs (the
+  // realistic size profile), salted with the structured families.
+  switch (Index % 8) {
+  case 0:
+    G = diamondLadderCfg(2 + static_cast<uint32_t>(R.nextBelow(12)));
+    break;
+  case 1:
+    G = nestedWhileCfg(1 + static_cast<uint32_t>(R.nextBelow(5)),
+                       1 + static_cast<uint32_t>(R.nextBelow(3)));
+    break;
+  case 2:
+    G = nestedRepeatUntilCfg(2 + static_cast<uint32_t>(R.nextBelow(10)));
+    break;
+  case 3:
+    G = irreducibleCfg(1 + static_cast<uint32_t>(R.nextBelow(4)));
+    break;
+  default: {
+    RandomCfgOptions O;
+    O.NumNodes = 8 + static_cast<uint32_t>(R.nextBelow(56));
+    O.NumExtraEdges = static_cast<uint32_t>(R.nextBelow(O.NumNodes));
+    G = randomBackboneCfg(R, O);
+    break;
+  }
+  }
+}
+
+bool CorpusStream::next(CorpusChunk &C) {
+  C.Begin = Next;
+  C.Graphs.clear();
+  C.Names.clear();
+  if (Next >= Opts.Count)
+    return false;
+  PST_SPAN("workload.gen");
+  const uint64_t End = std::min(Next + ChunkFns, Opts.Count);
+  C.Graphs.resize(End - Next);
+  C.Names.resize(End - Next);
+  for (uint64_t I = Next; I < End; ++I)
+    generateStreamFunction(Opts, I, C.Graphs[I - Next], C.Names[I - Next]);
+  PST_COUNTER("workload.gen.chunks", 1);
+  PST_COUNTER("workload.gen.functions", End - Next);
+  Next = End;
+  return true;
+}

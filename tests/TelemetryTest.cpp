@@ -25,9 +25,11 @@
 #include "pst/support/ThreadPool.h"
 #include "pst/workload/CfgGenerators.h"
 #include "pst/workload/Corpus.h"
+#include "pst/workload/CorpusStream.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -348,6 +350,40 @@ TEST_F(TelemetryTest, TraceWriterEscapesNames) {
 //===----------------------------------------------------------------------===//
 
 #if PST_TELEMETRY
+/// Dumps the global counter totals as canonical JSON and diffs them
+/// against tests/golden/<FileName>; with PST_UPDATE_TELEMETRY_GOLDEN set,
+/// rewrites the golden instead (and skips).
+void checkCounterGolden(const char *FileName) {
+  TelemetrySnapshot S = TelemetryRegistry::global().snapshot();
+  std::ostringstream OS;
+  OS << "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : S.Counters) {
+    OS << (First ? "\n    \"" : ",\n    \"") << Name << "\": " << Value;
+    First = false;
+  }
+  OS << "\n  }\n}\n";
+  std::string Actual = OS.str();
+
+  const std::string Path = std::string(PST_GOLDEN_DIR) + "/" + FileName;
+  if (const char *Update = std::getenv("PST_UPDATE_TELEMETRY_GOLDEN");
+      Update && *Update) {
+    std::ofstream Out(Path);
+    Out << Actual;
+    ASSERT_TRUE(Out.good()) << "cannot write golden: " << Path;
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden: " << Path;
+  std::stringstream Expected;
+  Expected << In.rdbuf();
+  EXPECT_EQ(Actual, Expected.str())
+      << "telemetry counters drifted from " << Path
+      << "; if the pipeline change is intentional, regenerate with "
+         "PST_UPDATE_TELEMETRY_GOLDEN=1";
+}
+
 TEST_F(TelemetryTest, PipelineProbesPopulate) {
   Telemetry::setEnabled(true);
   Telemetry::setTraceEnabled(true);
@@ -400,35 +436,59 @@ TEST_F(TelemetryTest, CounterGoldenPaperCorpus) {
   BatchAnalyzer Engine(Opts);
   (void)Engine.analyzeCorpus(std::span<const Cfg *const>(Ptrs));
 
-  TelemetrySnapshot S = TelemetryRegistry::global().snapshot();
-  std::ostringstream OS;
-  OS << "{\n  \"counters\": {";
-  bool First = true;
-  for (const auto &[Name, Value] : S.Counters) {
-    OS << (First ? "\n    \"" : ",\n    \"") << Name << "\": " << Value;
-    First = false;
-  }
-  OS << "\n  }\n}\n";
-  std::string Actual = OS.str();
+  checkCounterGolden("telemetry_counters_paper.json");
+}
 
-  const std::string Path =
-      std::string(PST_GOLDEN_DIR) + "/telemetry_counters_paper.json";
-  if (const char *Update = std::getenv("PST_UPDATE_TELEMETRY_GOLDEN");
-      Update && *Update) {
-    std::ofstream Out(Path);
-    Out << Actual;
-    ASSERT_TRUE(Out.good()) << "cannot write golden: " << Path;
-    GTEST_SKIP() << "regenerated " << Path;
-  }
+/// The same gate over the streaming pipeline: stream-build a small
+/// generated corpus image out of core, then analyze it through the
+/// windowed sink path. This pins the stream probe families
+/// (workload.gen.*, image.stream.*, batch.stream.*) alongside the
+/// per-function pipeline counters the two passes generate — and, because
+/// the golden is a complete counter dump, it also proves the stream
+/// counters never leak into the materializing analyzeCorpus totals above
+/// (the paper golden would diff if they did).
+TEST_F(TelemetryTest, CounterGoldenStreamPipeline) {
+  Telemetry::setEnabled(true);
 
-  std::ifstream In(Path);
-  ASSERT_TRUE(In.good()) << "missing golden: " << Path;
-  std::stringstream Expected;
-  Expected << In.rdbuf();
-  EXPECT_EQ(Actual, Expected.str())
-      << "telemetry counters drifted from " << Path
-      << "; if the pipeline change is intentional, regenerate with "
-         "PST_UPDATE_TELEMETRY_GOLDEN=1";
+  StreamCorpusOptions SO;
+  SO.Count = 96;
+  // Route both passes through the canonical chunked producer so the
+  // workload.gen.* counters are pinned too (the build calls the producer
+  // twice; Begin rewinding to 0 marks the second pass).
+  CorpusStream Stream(SO, /*ChunkFunctions=*/17);
+  CorpusChunk Chunk;
+  ChunkProducer Produce = [&](uint64_t Begin, uint64_t Count,
+                              std::vector<Cfg> &Graphs,
+                              std::vector<std::string> &Names) {
+    if (Begin == 0)
+      Stream.reset();
+    ASSERT_TRUE(Stream.next(Chunk));
+    ASSERT_EQ(Chunk.Begin, Begin);
+    ASSERT_EQ(Chunk.size(), Count);
+    Graphs = Chunk.Graphs;
+    Names = Chunk.Names;
+  };
+
+  BatchOptions Opts;
+  Opts.NumThreads = 1;
+  BatchAnalyzer Engine(Opts);
+  std::string Path = ::testing::TempDir() + "telemetry_stream.img";
+  std::string Error;
+  ASSERT_TRUE(Engine.buildImageStream(SO.Count, Produce, /*ChunkFunctions=*/17,
+                                      Path, &Error))
+      << Error;
+  {
+    CorpusImage Img = CorpusImage::map(Path, &Error);
+    ASSERT_TRUE(Img.valid()) << Error;
+    uint64_t Seen = 0;
+    Engine.analyzeCorpusStream(
+        Img, [&Seen](uint64_t, const FunctionAnalysis &) { ++Seen; },
+        /*WindowFunctions=*/32);
+    ASSERT_EQ(Seen, SO.Count);
+  }
+  std::remove(Path.c_str());
+
+  checkCounterGolden("telemetry_counters_stream.json");
 }
 #endif // PST_TELEMETRY
 
