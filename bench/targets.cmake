@@ -45,6 +45,12 @@ target_link_libraries(time_corpus_image PRIVATE pst_runtime pst_image)
 pst_add_bench(time_stream_corpus)
 target_link_libraries(time_stream_corpus PRIVATE pst_runtime pst_image)
 
+# Serving layer under write pressure (plain bench: custom JSON + two hard
+# gates — published-snapshot byte identity and the >=80% pinned-reader
+# throughput floor with one writer committing).
+pst_add_bench(time_serve)
+target_link_libraries(time_serve PRIVATE pst_serve pst_image pst_obs)
+
 # Timing comparisons (google-benchmark).
 pst_add_timing_bench(time_cycleequiv_vs_domtree)
 pst_add_timing_bench(time_control_regions)

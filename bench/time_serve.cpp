@@ -1,0 +1,374 @@
+//===- time_serve.cpp - Serving-layer latency and throughput ------------------===//
+//
+// Measures the serving layer's read path under write pressure: reader
+// threads issue a deterministic query mix against a PstServer while
+// 0 / 1 / 8 writers journal edits and commit epochs as fast as they can.
+// Per phase it reports query latency (p50/p99), throughput two ways —
+// wall-clock and *in-query* (queries divided by the summed per-query
+// latencies, which is the number that stays meaningful when the host has
+// fewer cores than threads) — and the mean/max epoch lag readers actually
+// observed (from the serve.epoch_lag telemetry probe).
+//
+// Two acceptance gates, both exit 1 on violation:
+//
+//   * snapshot integrity — after every phase, each shard's published
+//     overlay must be byte-identical to a from-scratch freeze of its
+//     writer's committed graph (Shard::verifyPublished);
+//   * read isolation — with one writer committing continuously, pinned
+//     readers must sustain at least MIN_RATIO (80%) of the zero-writer
+//     in-query throughput: publication must never block the read path.
+//
+// Each phase runs against a fresh server over the same in-memory image,
+// so edit histories never leak across phases. Emits a human-readable
+// table on stdout and machine-readable BENCH_serve.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "pst/obs/Telemetry.h"
+#include "pst/serve/PstServer.h"
+#include "pst/workload/CfgGenerators.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pst;
+using namespace pst::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double MIN_RATIO = 0.80;
+
+/// Same generator mix as time_batch_throughput / time_corpus_image.
+std::vector<Cfg> generatedCorpus(size_t Count) {
+  std::vector<Cfg> Out;
+  Out.reserve(Count);
+  Rng R(0xba7c4);
+  while (Out.size() < Count) {
+    switch (Out.size() % 8) {
+    case 0:
+      Out.push_back(diamondLadderCfg(2 + static_cast<uint32_t>(R.nextBelow(12))));
+      break;
+    case 1:
+      Out.push_back(nestedWhileCfg(1 + static_cast<uint32_t>(R.nextBelow(5)),
+                                   1 + static_cast<uint32_t>(R.nextBelow(3))));
+      break;
+    case 2:
+      Out.push_back(
+          nestedRepeatUntilCfg(2 + static_cast<uint32_t>(R.nextBelow(10))));
+      break;
+    case 3:
+      Out.push_back(irreducibleCfg(1 + static_cast<uint32_t>(R.nextBelow(4))));
+      break;
+    default: {
+      RandomCfgOptions O;
+      O.NumNodes = 8 + static_cast<uint32_t>(R.nextBelow(56));
+      O.NumExtraEdges = static_cast<uint32_t>(R.nextBelow(O.NumNodes));
+      Out.push_back(randomBackboneCfg(R, O));
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+struct PhaseResult {
+  unsigned Writers = 0;
+  uint64_t Queries = 0;
+  double WallSec = 0;
+  double InQuerySec = 0; ///< Sum of per-query latencies across readers.
+  uint64_t P50Ns = 0;
+  uint64_t P99Ns = 0;
+  double MeanEpochLag = 0;
+  uint64_t MaxEpochLag = 0;
+  uint64_t Commits = 0;
+  uint64_t Published = 0;
+  uint64_t Reclaimed = 0;
+
+  double qpsWall() const { return Queries / WallSec; }
+  double qpsInQuery() const { return Queries / InQuerySec; }
+};
+
+/// Deterministic per-reader request stream: every reader walks its own
+/// xorshift sequence over the query kinds and functions, with node
+/// arguments drawn from the *base* image (edits only ever add nodes, so
+/// base node ids stay valid in every epoch).
+Request nextRequest(const CorpusImage &Img, uint64_t &Rng) {
+  auto Next = [&Rng] {
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    return Rng;
+  };
+  Request R;
+  uint64_t Fn = Next() % Img.numFunctions();
+  uint32_t Nodes = Img.cfg(Fn).numNodes();
+  R.Fn = Fn;
+  switch (Next() % 6) {
+  case 0:
+    R.Kind = RequestKind::Region;
+    R.A = static_cast<NodeId>(Next() % Nodes);
+    R.B = static_cast<NodeId>(Next() % Nodes);
+    break;
+  case 1:
+    R.Kind = RequestKind::Regions;
+    break;
+  case 2:
+    R.Kind = RequestKind::Cdep;
+    R.A = static_cast<NodeId>(Next() % Nodes);
+    break;
+  case 3:
+    R.Kind = RequestKind::Dom;
+    R.A = static_cast<NodeId>(Next() % Nodes);
+    break;
+  case 4:
+    R.Kind = RequestKind::Phi;
+    R.Defs.push_back(static_cast<NodeId>(Next() % Nodes));
+    R.Defs.push_back(static_cast<NodeId>(Next() % Nodes));
+    break;
+  default:
+    R.Kind = RequestKind::Name;
+    break;
+  }
+  return R;
+}
+
+PhaseResult runPhase(std::vector<uint8_t> ImageBytes, unsigned NumWriters,
+                     unsigned NumReaders, uint64_t QueriesPerReader,
+                     uint32_t NumShards) {
+  std::string Error;
+  CorpusImage Img = CorpusImage::fromBytes(std::move(ImageBytes), &Error);
+  if (!Img.valid()) {
+    std::cerr << "error: " << Error << "\n";
+    std::exit(1);
+  }
+  ServeOptions Opts;
+  Opts.NumShards = NumShards;
+  Opts.NumThreads = 1; // Readers are external threads; no pool fan-out.
+  PstServer Server(std::move(Img), Opts);
+
+  TelemetryRegistry::global().reset();
+
+  std::atomic<bool> StopWriters{false};
+  std::atomic<unsigned> ReadersDone{0};
+
+  // Writers: each owns one shard (single-writer contract) and loops
+  // edit-batch -> commit, so a stopped writer never leaves journaled
+  // edits behind (verifyPublished requires commit-point state).
+  std::vector<std::thread> Writers;
+  for (unsigned W = 0; W < NumWriters; ++W) {
+    Writers.emplace_back([&, W] {
+      Shard &Sh = Server.shard(W % NumShards);
+      uint64_t Iter = 0;
+      while (!StopWriters.load(std::memory_order_relaxed)) {
+        // Rotate over a few of the shard's functions.
+        uint64_t Fn = (W % NumShards) + NumShards * (Iter % 8);
+        if (Fn < Server.numFunctions()) {
+          Sh.addBlock(Fn, 0, 1);
+          Sh.commit();
+        }
+        ++Iter;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Readers: deterministic streams, per-query latency sampled.
+  std::vector<std::vector<uint64_t>> Latencies(NumReaders);
+  std::vector<std::thread> Readers;
+  auto WallStart = Clock::now();
+  for (unsigned R = 0; R < NumReaders; ++R) {
+    Readers.emplace_back([&, R] {
+      std::vector<uint64_t> &Lat = Latencies[R];
+      Lat.reserve(QueriesPerReader);
+      QueryScratch Scratch;
+      uint64_t Rng = 0x9e3779b97f4a7c15ull ^ (uint64_t(R + 1) << 32);
+      for (uint64_t Q = 0; Q < QueriesPerReader; ++Q) {
+        Request Req = nextRequest(Server.image(), Rng);
+        auto T0 = Clock::now();
+        std::string Resp = Server.execute(Req, Scratch);
+        auto T1 = Clock::now();
+        if (Resp.rfind("ok ", 0) != 0 && Resp.rfind("err node", 0) != 0) {
+          std::cerr << "error: unexpected response: " << Resp << "\n";
+          std::exit(1);
+        }
+        Lat.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+                .count()));
+      }
+      ReadersDone.fetch_add(1);
+    });
+  }
+  for (std::thread &T : Readers)
+    T.join();
+  double WallSec =
+      std::chrono::duration<double>(Clock::now() - WallStart).count();
+  StopWriters.store(true);
+  for (std::thread &T : Writers)
+    T.join();
+
+  // Quiescent: gate 1 — byte identity of every published snapshot.
+  for (uint32_t S = 0; S < Server.numShards(); ++S) {
+    std::string Why;
+    if (!Server.shard(S).verifyPublished(&Why)) {
+      std::cerr << "FAIL: snapshot byte-identity violated on shard " << S
+                << ": " << Why << "\n";
+      std::exit(1);
+    }
+  }
+
+  PhaseResult Res;
+  Res.Writers = NumWriters;
+  Res.WallSec = WallSec;
+  std::vector<uint64_t> All;
+  for (const auto &Lat : Latencies)
+    All.insert(All.end(), Lat.begin(), Lat.end());
+  Res.Queries = All.size();
+  uint64_t SumNs = 0;
+  for (uint64_t L : All)
+    SumNs += L;
+  Res.InQuerySec = double(SumNs) / 1e9;
+  std::sort(All.begin(), All.end());
+  Res.P50Ns = All[All.size() / 2];
+  Res.P99Ns = All[All.size() * 99 / 100];
+
+  TelemetrySnapshot Snap = TelemetryRegistry::global().snapshot();
+  const ValueStats &Lag = Snap.Values["serve.epoch_lag"];
+  Res.MeanEpochLag = Lag.mean();
+  Res.MaxEpochLag = Lag.Count ? Lag.Max : 0;
+
+  for (uint32_t S = 0; S < Server.numShards(); ++S) {
+    ShardStats St = Server.shard(S).stats();
+    Res.Commits += St.Commits;
+    Res.Published += St.Published;
+    Res.Reclaimed += St.Reclaimed;
+  }
+  return Res;
+}
+
+void writeJson(const std::string &Path, size_t NumFns, uint32_t NumShards,
+               unsigned NumReaders, uint64_t QueriesPerReader,
+               const std::vector<PhaseResult> &Phases, double Ratio) {
+  std::ofstream OS(Path, std::ios::binary);
+  OS << "{\n";
+  std::string Corpus = "gen" + std::to_string(NumFns);
+  pstbench::writeSchemaPreamble(OS, "serve", Corpus.c_str(),
+                                Phases.front().qpsInQuery());
+  OS << "  \"shards\": " << NumShards << ",\n";
+  OS << "  \"readers\": " << NumReaders << ",\n";
+  OS << "  \"queries_per_reader\": " << QueriesPerReader << ",\n";
+  OS << "  \"phases\": [\n";
+  for (size_t I = 0; I < Phases.size(); ++I) {
+    const PhaseResult &P = Phases[I];
+    OS << "    {\"writers\": " << P.Writers << ", \"queries\": " << P.Queries
+       << ", \"qps_wall\": " << P.qpsWall()
+       << ", \"qps_inquery\": " << P.qpsInQuery()
+       << ", \"p50_ns\": " << P.P50Ns << ", \"p99_ns\": " << P.P99Ns
+       << ", \"mean_epoch_lag\": " << P.MeanEpochLag
+       << ", \"max_epoch_lag\": " << P.MaxEpochLag
+       << ", \"commits\": " << P.Commits
+       << ", \"published\": " << P.Published
+       << ", \"reclaimed\": " << P.Reclaimed << "}"
+       << (I + 1 < Phases.size() ? "," : "") << "\n";
+  }
+  OS << "  ],\n";
+  OS << "  \"one_writer_throughput_ratio\": " << Ratio << ",\n";
+  OS << "  \"min_ratio_gate\": " << MIN_RATIO << ",\n";
+  OS << "  \"byte_identity\": \"ok\"\n";
+  OS << "}\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  size_t NumFns = 2000;
+  uint64_t QueriesPerReader = 4000;
+  unsigned NumReaders = 2;
+  uint32_t NumShards = 8;
+  std::string OutPath = "BENCH_serve.json";
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::cerr << "error: " << Flag << " needs an argument\n";
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (A == "--fns")
+      NumFns = std::strtoull(Next("--fns"), nullptr, 0);
+    else if (A == "--queries")
+      QueriesPerReader = std::strtoull(Next("--queries"), nullptr, 0);
+    else if (A == "--readers")
+      NumReaders = static_cast<unsigned>(std::strtoul(Next("--readers"),
+                                                      nullptr, 0));
+    else if (A == "--shards")
+      NumShards = static_cast<uint32_t>(std::strtoul(Next("--shards"),
+                                                     nullptr, 0));
+    else if (A == "--out")
+      OutPath = Next("--out");
+    else {
+      std::cerr << "usage: time_serve [--fns n] [--queries n] [--readers n]"
+                   " [--shards n] [--out f]\n";
+      return 2;
+    }
+  }
+
+  // The epoch-lag probe is the only telemetry consumer here; enabling it
+  // costs one relaxed load per probe on the query path for every phase
+  // equally, so the ratio gate is unaffected.
+  Telemetry::setEnabled(true);
+
+  std::cout << "Building " << NumFns << "-function corpus image...\n";
+  std::vector<Cfg> Corpus = generatedCorpus(NumFns);
+  std::vector<const Cfg *> Ptrs;
+  Ptrs.reserve(Corpus.size());
+  for (const Cfg &G : Corpus)
+    Ptrs.push_back(&G);
+  std::vector<uint8_t> Bytes = buildCorpusImage(Ptrs);
+  std::cout << "Image: " << Bytes.size() << " bytes, " << NumShards
+            << " shards, " << NumReaders << " readers x " << QueriesPerReader
+            << " queries\n\n";
+
+  std::vector<PhaseResult> Phases;
+  for (unsigned W : {0u, 1u, 8u}) {
+    Phases.push_back(runPhase(Bytes, W, NumReaders, QueriesPerReader,
+                              NumShards));
+    const PhaseResult &P = Phases.back();
+    std::printf("writers=%u  queries=%llu  qps(wall)=%.0f  qps(in-query)=%.0f"
+                "  p50=%lluns  p99=%lluns  lag(mean)=%.2f  commits=%llu\n",
+                P.Writers, static_cast<unsigned long long>(P.Queries),
+                P.qpsWall(), P.qpsInQuery(),
+                static_cast<unsigned long long>(P.P50Ns),
+                static_cast<unsigned long long>(P.P99Ns), P.MeanEpochLag,
+                static_cast<unsigned long long>(P.Commits));
+  }
+
+  // Gate 2: one continuously committing writer must not cost pinned
+  // readers more than (1 - MIN_RATIO) of their in-query throughput.
+  double Ratio = Phases[1].qpsInQuery() / Phases[0].qpsInQuery();
+  std::printf("\n1-writer/0-writer in-query throughput ratio: %.3f"
+              " (gate: >= %.2f)\n",
+              Ratio, MIN_RATIO);
+
+  writeJson(OutPath, NumFns, NumShards, NumReaders, QueriesPerReader, Phases,
+            Ratio);
+  std::cout << "Wrote " << OutPath << "\n";
+
+  if (Ratio < MIN_RATIO) {
+    std::cerr << "FAIL: reader throughput under one writer dropped below "
+              << MIN_RATIO << " of the zero-writer baseline\n";
+    return 1;
+  }
+  return 0;
+}

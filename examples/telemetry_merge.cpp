@@ -1,0 +1,79 @@
+//===- telemetry_merge.cpp - Merge sharded telemetry dumps ----------------------===//
+//
+// Combines TelemetryRegistry::toJson() dumps from several processes (a
+// sharded pstserve fleet, parallel bench runs) into one report in the
+// same format: counters add, histograms merge bucket-wise, means are
+// recomputed from merged count/sum. See pst/obs/TelemetryMerge.h.
+//
+// Usage:
+//   telemetry-merge [--out <file>] <dump.json> [<dump.json> ...]
+//
+// Writes the merged dump to stdout (or --out) and exits 1 on any
+// unreadable or malformed input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/obs/TelemetryMerge.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+using namespace pst;
+
+int main(int Argc, char **Argv) {
+  std::string OutPath;
+  std::vector<std::string> Inputs;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--out") {
+      if (I + 1 >= Argc) {
+        std::cerr << "error: --out needs an argument\n";
+        return 2;
+      }
+      OutPath = Argv[++I];
+    } else if (!A.empty() && A[0] == '-') {
+      std::cerr << "usage: telemetry-merge [--out <file>] <dump.json>...\n";
+      return 2;
+    } else {
+      Inputs.push_back(A);
+    }
+  }
+  if (Inputs.empty()) {
+    std::cerr << "usage: telemetry-merge [--out <file>] <dump.json>...\n";
+    return 2;
+  }
+
+  std::vector<TelemetryStats> Parts;
+  Parts.reserve(Inputs.size());
+  for (const std::string &Path : Inputs) {
+    std::ifstream In(Path, std::ios::binary);
+    if (!In) {
+      std::cerr << "error: cannot read " << Path << "\n";
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    TelemetryStats S;
+    std::string Error;
+    if (!parseTelemetryJson(Buf.str(), S, &Error)) {
+      std::cerr << "error: " << Path << ": " << Error << "\n";
+      return 1;
+    }
+    Parts.push_back(std::move(S));
+  }
+
+  std::string Merged = telemetryStatsToJson(mergeTelemetryStats(Parts));
+  if (OutPath.empty()) {
+    std::cout << Merged;
+  } else {
+    std::ofstream Out(OutPath, std::ios::binary);
+    if (!Out) {
+      std::cerr << "error: cannot write " << OutPath << "\n";
+      return 1;
+    }
+    Out << Merged;
+  }
+  return 0;
+}

@@ -453,6 +453,13 @@ public:
   /// in edge-id order, the only order \c Cfg construction ever produces.
   Cfg materializeCfg(uint64_t I) const;
 
+  /// The whole image as raw bytes (header, sections, checksums). The
+  /// format is byte-deterministic for a given corpus, so equality of two
+  /// images' rawBytes() is equality of the frozen analyses — the serving
+  /// layer leans on this to check published snapshots against
+  /// from-scratch rebuilds by memcmp.
+  std::span<const uint8_t> rawBytes() const { return {Base, Bytes}; }
+
 private:
   bool attach(std::string *Error);
   void reset();

@@ -60,6 +60,7 @@ namespace obs_detail {
 /// its own quiescence contract.
 extern std::atomic<bool> TelemetryOn;
 extern std::atomic<bool> TraceOn;
+extern std::atomic<uint64_t> SpanSampleEveryN;
 
 void addCounterSlow(const char *Name, uint64_t Delta);
 void recordValueSlow(const char *Name, uint64_t Value);
@@ -147,6 +148,10 @@ struct TelemetrySnapshot {
   std::vector<SpanEvent> Spans;
   /// Spans discarded because a thread hit its retention cap.
   uint64_t DroppedSpans = 0;
+  /// Spans deliberately skipped by 1-in-N sampling
+  /// (\c Telemetry::setSpanSampleEvery). Distinct from DroppedSpans: these
+  /// were decimated by policy, not lost to the cap.
+  uint64_t SampledOutSpans = 0;
 };
 
 /// The process-wide sink registry. Access through \c global(); recording
@@ -198,6 +203,21 @@ public:
   }
   static void setTraceEnabled(bool On) {
     obs_detail::TraceOn.store(On, std::memory_order_relaxed);
+  }
+
+  /// Span retention sampling: keep every Nth completed span per thread
+  /// (the 1st, N+1st, ... in each thread's completion order), count the
+  /// rest as sampled-out. 0 and 1 both mean "keep every span" (the
+  /// default). Sampling applies only to trace *retention* — duration
+  /// statistics still see every span — and composes with the per-thread
+  /// retention cap, which stays as a backstop. Deterministic decimation
+  /// (rather than reservoir sampling) keeps repeated runs byte-comparable
+  /// and lets dumps from sharded processes be merged meaningfully.
+  static uint64_t spanSampleEvery() {
+    return obs_detail::SpanSampleEveryN.load(std::memory_order_relaxed);
+  }
+  static void setSpanSampleEvery(uint64_t N) {
+    obs_detail::SpanSampleEveryN.store(N, std::memory_order_relaxed);
   }
 
   /// Adds \p Delta to the named monotonic counter (no-op when disabled).

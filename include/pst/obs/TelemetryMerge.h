@@ -1,0 +1,72 @@
+//===- pst/obs/TelemetryMerge.h - Cross-process stats merging ---*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet-level telemetry aggregation. A sharded deployment runs one
+/// process per image shard, and each process dumps its own
+/// `TelemetryRegistry::toJson()` report; this header provides the missing
+/// half — parsing those dumps back into structured form and merging any
+/// number of them into one report, so an operator sees the fleet's
+/// counters and latency histograms as a single JSON object.
+///
+/// The merge is exact, not approximate: counters add, ValueStats merge
+/// via count/sum/min/max/bucket addition (the same \c ValueStats::merge
+/// the in-process thread sinks use), and means are recomputed from the
+/// merged count and sum rather than averaged. `telemetryStatsToJson` is
+/// the *same* serializer `TelemetryRegistry::toJson()` uses, which pins
+/// two properties tests rely on: parse -> reserialize of a single dump is
+/// byte-identical, and a merged report has exactly the per-process dump
+/// format (one format to teach dashboards, one golden shape).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_OBS_TELEMETRYMERGE_H
+#define PST_OBS_TELEMETRYMERGE_H
+
+#include "pst/obs/Telemetry.h"
+
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace pst {
+
+/// The stats half of a telemetry dump — everything
+/// `TelemetryRegistry::toJson()` writes (spans themselves are exported
+/// separately via TraceWriter and are not part of the stats dump).
+struct TelemetryStats {
+  bool Compiled = true;
+  bool Enabled = false;
+  uint64_t SpansRetained = 0;
+  uint64_t SpansDropped = 0;
+  uint64_t SpansSampledOut = 0;
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, ValueStats> Timers;
+  std::map<std::string, ValueStats> Values;
+};
+
+/// Parses a `TelemetryRegistry::toJson()` dump (or a prior merge output —
+/// same format) back into structured form. Tolerates arbitrary
+/// whitespace; the "mean" field is ignored on input (it is derived state,
+/// recomputed from count/sum on output). Returns false and sets \p Error
+/// on malformed input.
+bool parseTelemetryJson(std::string_view Json, TelemetryStats &Out,
+                        std::string *Error = nullptr);
+
+/// Merges per-process dumps into one fleet report: counters and span
+/// accounting add, histograms merge bucket-wise, `telemetry_compiled`
+/// ANDs (false if any process was built without probes) and
+/// `telemetry_enabled` ORs (true if any process recorded).
+TelemetryStats mergeTelemetryStats(std::span<const TelemetryStats> Parts);
+
+/// Serializes stats in exactly the `TelemetryRegistry::toJson()` format.
+std::string telemetryStatsToJson(const TelemetryStats &S);
+
+} // namespace pst
+
+#endif // PST_OBS_TELEMETRYMERGE_H

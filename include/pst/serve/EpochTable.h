@@ -1,0 +1,295 @@
+//===- pst/serve/EpochTable.h - Refcounted snapshot publication -*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrency primitive under the serving layer: a single-writer /
+/// many-reader epoch table that publishes immutable snapshots and
+/// reclaims retired ones at quiescence, RCU-style, without ever making a
+/// reader wait.
+///
+/// Model. A fixed array of slots, each holding (snapshot pointer,
+/// version, pin count), plus a `Current` slot index. The writer publishes
+/// a new snapshot by filling a free slot and swinging `Current` to it;
+/// readers pin whatever `Current` points at. A retired slot (no longer
+/// current) is reclaimed — its snapshot deleted, the slot freed for reuse
+/// — only once its pin count is zero, and reclamation happens on the
+/// writer's thread during the next publish (or an explicit
+/// \c reclaimQuiescent), so readers never take a lock, never free memory,
+/// and never observe a torn snapshot.
+///
+/// The pin protocol is the hazard-pointer handshake:
+///
+///   reader:  I = Current; Pins[I].fetch_add(1, seq_cst);
+///            if (Current (seq_cst load) == I)  -> pinned, safe to read
+///            else                              -> unpin, retry
+///   writer:  fill slot J; Current.store(J, seq_cst);
+///            for retired slots I: if (Pins[I].load(seq_cst) == 0) free I
+///
+/// Why this is safe (the memory-ordering contract DESIGN.md §14 spells
+/// out in full): both the reader's {fetch_add; load} and the writer's
+/// {store; load} are seq_cst, so in the single total order S one of two
+/// interleavings holds. Either the writer's pin-count load observes the
+/// reader's increment — then the slot is not reclaimed; or it reads zero
+/// — then the increment is later in S than the writer's `Current` store,
+/// so the reader's subsequent validation load (later still) must observe
+/// the moved `Current` and the reader retries without ever dereferencing
+/// the doomed pointer. Weaker orderings genuinely break this: with
+/// acquire/release only, the reader's increment and validation load may
+/// both "happen before" the writer's store in every per-location order
+/// while the writer's pin load still misses the increment (the classic
+/// store-buffering litmus), and the writer frees a snapshot a reader is
+/// about to read.
+///
+/// Unpinning is a release fetch_sub; the writer's seq_cst pin load that
+/// observes it synchronizes-with it, so every read the pinned reader made
+/// through the snapshot happens-before the delete. Slot *reuse* after
+/// reclaim is benign ABA: a reader that validates against a reused slot
+/// sees the newly published pointer (publication writes the pointer with
+/// release ordering before the seq_cst `Current` store it validated
+/// against), which is a perfectly good — newer — snapshot.
+///
+/// Liveness: the writer needs a free slot per publish, so `Capacity` must
+/// exceed the maximum number of *distinct epochs simultaneously pinned*
+/// plus one for the incoming snapshot; short-lived query pins against a
+/// 64-slot default never come close. If readers do exhaust the table the
+/// writer spins in publish (reclaiming as pins drain) rather than
+/// corrupting a pinned slot — publication stalls, readers are unaffected.
+///
+/// The table never frees slot structs, only snapshots, so a reader
+/// parked between its `Current` read and its fetch_add for arbitrarily
+/// long touches memory that is still a live slot when it wakes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_SERVE_EPOCHTABLE_H
+#define PST_SERVE_EPOCHTABLE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace pst {
+namespace serve {
+
+/// Single-writer / many-reader table of published snapshot epochs.
+///
+/// \tparam T the immutable snapshot type. The table owns published
+/// snapshots and deletes them at quiescence; readers access them only
+/// through a live \c Pin.
+///
+/// Thread-safety: \c pin / \c tryPin and the const observers are safe
+/// from any thread, any number concurrently. \c publish and
+/// \c reclaimQuiescent must be called by one thread at a time (the
+/// shard's writer); they may run concurrently with any number of pins.
+template <class T> class EpochTable {
+  struct Slot {
+    std::atomic<const T *> Ptr{nullptr};
+    std::atomic<uint64_t> Version{0};
+    std::atomic<uint32_t> Pins{0};
+  };
+
+public:
+  /// RAII pin on one published epoch. While live, the snapshot is
+  /// guaranteed not to be reclaimed; destruction (or \c release)
+  /// decrements the slot's pin count and must happen before the owning
+  /// table is destroyed.
+  class Pin {
+  public:
+    Pin() = default;
+    Pin(Pin &&O) noexcept
+        : Table(O.Table), SlotIndex(O.SlotIndex), Snapshot(O.Snapshot),
+          SnapshotVersion(O.SnapshotVersion) {
+      O.Table = nullptr;
+      O.Snapshot = nullptr;
+    }
+    Pin &operator=(Pin &&O) noexcept {
+      if (this != &O) {
+        release();
+        Table = O.Table;
+        SlotIndex = O.SlotIndex;
+        Snapshot = O.Snapshot;
+        SnapshotVersion = O.SnapshotVersion;
+        O.Table = nullptr;
+        O.Snapshot = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin &) = delete;
+    Pin &operator=(const Pin &) = delete;
+    ~Pin() { release(); }
+
+    explicit operator bool() const { return Snapshot != nullptr; }
+    const T *get() const { return Snapshot; }
+    const T &operator*() const { return *Snapshot; }
+    const T *operator->() const { return Snapshot; }
+    /// The published version of the pinned epoch.
+    uint64_t version() const { return SnapshotVersion; }
+
+    /// Drops the pin early (idempotent).
+    void release() {
+      if (Table) {
+        // Release so every read this thread made through the snapshot
+        // happens-before a writer that sees the count hit zero.
+        Table->Slots[SlotIndex].Pins.fetch_sub(1, std::memory_order_release);
+        Table = nullptr;
+        Snapshot = nullptr;
+      }
+    }
+
+  private:
+    friend class EpochTable;
+    const EpochTable *Table = nullptr;
+    uint32_t SlotIndex = 0;
+    const T *Snapshot = nullptr;
+    uint64_t SnapshotVersion = 0;
+  };
+
+  /// \p Capacity slots; see the file comment for sizing (it bounds the
+  /// number of distinct epochs readers may hold pinned at once).
+  explicit EpochTable(uint32_t Capacity = 64)
+      : Cap(Capacity < 2 ? 2 : Capacity), Slots(new Slot[Cap]) {}
+
+  EpochTable(const EpochTable &) = delete;
+  EpochTable &operator=(const EpochTable &) = delete;
+
+  /// Requires quiescence: no pins outstanding, no publish in flight.
+  ~EpochTable() {
+    for (uint32_t I = 0; I < Cap; ++I) {
+      assert(Slots[I].Pins.load(std::memory_order_relaxed) == 0 &&
+             "EpochTable destroyed with a live pin");
+      delete Slots[I].Ptr.load(std::memory_order_relaxed);
+    }
+  }
+
+  /// Pins the current epoch. Wait-free against the writer in practice:
+  /// the retry loop only iterates when a publish lands between the read
+  /// of `Current` and the validation, and each retry chases a strictly
+  /// newer epoch. Precondition: at least one snapshot has been published
+  /// (the serving layer publishes epoch 0 at construction); spins
+  /// otherwise.
+  Pin pin() const {
+    for (;;) {
+      uint32_t I = Current.load(std::memory_order_acquire);
+      Slots[I].Pins.fetch_add(1, std::memory_order_seq_cst);
+      if (Current.load(std::memory_order_seq_cst) == I) {
+        // Validated: the writer cannot have missed our pin and reclaimed
+        // this slot (see the file comment), so Ptr is either the
+        // snapshot that was current when we read `Current`, or a newer
+        // one published into the same slot — both immutable and safe.
+        const T *P = Slots[I].Ptr.load(std::memory_order_acquire);
+        if (P) {
+          Pin H;
+          H.Table = this;
+          H.SlotIndex = I;
+          H.Snapshot = P;
+          H.SnapshotVersion = Slots[I].Version.load(std::memory_order_acquire);
+          return H;
+        }
+      }
+      Slots[I].Pins.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  /// Publishes \p Snapshot as the new current epoch under \p Version
+  /// (must be strictly increasing; the serving layer numbers commits).
+  /// Takes ownership. Writer thread only. Reclaims retired quiescent
+  /// slots on the way out.
+  void publish(std::unique_ptr<const T> Snapshot, uint64_t Version) {
+    const T *P = Snapshot.release();
+    for (;;) {
+      uint32_t Cur = Current.load(std::memory_order_relaxed);
+      for (uint32_t I = 0; I < Cap; ++I) {
+        if (I == Cur)
+          continue;
+        if (Slots[I].Ptr.load(std::memory_order_relaxed) != nullptr)
+          continue;
+        if (Slots[I].Pins.load(std::memory_order_acquire) != 0)
+          continue; // A reader is mid-handshake on this free slot.
+        // Fill, then swing Current. Release on the fills orders the
+        // snapshot's construction before the seq_cst store readers
+        // validate against.
+        Slots[I].Version.store(Version, std::memory_order_release);
+        Slots[I].Ptr.store(P, std::memory_order_release);
+        Current.store(I, std::memory_order_seq_cst);
+        PublishedVersion.store(Version, std::memory_order_release);
+        PublishCount.fetch_add(1, std::memory_order_relaxed);
+        reclaimQuiescent();
+        return;
+      }
+      // Every non-current slot is pinned or occupied: reclaim what has
+      // drained and retry. Publication stalls; readers never do.
+      if (reclaimQuiescent() == 0)
+        std::this_thread::yield();
+    }
+  }
+
+  /// Frees the snapshot of every retired (non-current) slot whose pin
+  /// count is zero. Writer thread only. Returns the number reclaimed.
+  uint64_t reclaimQuiescent() {
+    uint64_t Freed = 0;
+    uint32_t Cur = Current.load(std::memory_order_relaxed);
+    for (uint32_t I = 0; I < Cap; ++I) {
+      if (I == Cur)
+        continue;
+      const T *P = Slots[I].Ptr.load(std::memory_order_relaxed);
+      if (!P)
+        continue;
+      // seq_cst pairs with the reader handshake: reading zero here
+      // proves any concurrent pin attempt will fail validation, and any
+      // completed unpin's release synchronizes-with this load.
+      if (Slots[I].Pins.load(std::memory_order_seq_cst) != 0)
+        continue;
+      delete P;
+      Slots[I].Ptr.store(nullptr, std::memory_order_relaxed);
+      ++Freed;
+    }
+    ReclaimCount.fetch_add(Freed, std::memory_order_relaxed);
+    return Freed;
+  }
+
+  /// Version of the most recently published epoch (0 before the first
+  /// publish). `currentVersion() - Pin::version()` is a reader's epoch
+  /// lag.
+  uint64_t currentVersion() const {
+    return PublishedVersion.load(std::memory_order_acquire);
+  }
+
+  /// Snapshots currently owned by the table (current + retired-but-
+  /// pinned + retired-awaiting-reclaim). Advisory; exact only at
+  /// quiescence.
+  uint32_t liveSnapshots() const {
+    uint32_t N = 0;
+    for (uint32_t I = 0; I < Cap; ++I)
+      if (Slots[I].Ptr.load(std::memory_order_relaxed) != nullptr)
+        ++N;
+    return N;
+  }
+
+  uint32_t capacity() const { return Cap; }
+  uint64_t publishCount() const {
+    return PublishCount.load(std::memory_order_relaxed);
+  }
+  uint64_t reclaimCount() const {
+    return ReclaimCount.load(std::memory_order_relaxed);
+  }
+
+private:
+  uint32_t Cap;
+  std::unique_ptr<Slot[]> Slots;
+  std::atomic<uint32_t> Current{0};
+  std::atomic<uint64_t> PublishedVersion{0};
+  std::atomic<uint64_t> PublishCount{0};
+  std::atomic<uint64_t> ReclaimCount{0};
+};
+
+} // namespace serve
+} // namespace pst
+
+#endif // PST_SERVE_EPOCHTABLE_H

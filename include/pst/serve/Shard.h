@@ -1,0 +1,174 @@
+//===- pst/serve/Shard.h - One shard's writer + epoch table -----*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One shard of the analysis server: the single-writer edit/commit state
+/// for its slice of the corpus, plus the EpochTable through which readers
+/// see that slice.
+///
+/// Routing is by residue class: a server with S shards gives shard K
+/// every function F with F % S == K (round-robin over function index, so
+/// generated corpora — whose size correlates with index — spread evenly).
+/// Function ids in this API are always *global* image indices.
+///
+/// A published \c ShardEpoch is an immutable overlay over the shared base
+/// image: functions the shard has committed edits for resolve to their
+/// latest \c FunctionSnapshot, everything else to the mapped base image's
+/// zero-copy views. Readers pin an epoch, resolve functions against it,
+/// and drop the pin; the writer journals edits into per-function
+/// `DynamicCfg`/`IncrementalPst` pairs and, at \c commit, folds each
+/// dirty function's journal (IncrementalPst's dirty-region rebuild keeps
+/// edit-time validation and stats local), refreezes the dirtied functions
+/// from their materialized graphs, and publishes a new epoch. Freezing
+/// from the materialized graph — rather than serializing IncrementalPst's
+/// live tree — is what makes the byte-identity invariant (published
+/// snapshot == from-scratch freeze of the current graph) hold exactly:
+/// the incremental tree recycles region ids and is *structurally*
+/// validated against from-scratch builds (`equalsFromScratch`), but its
+/// id assignment is not the dense from-scratch numbering an image
+/// freezes. The refreeze cost is bounded by the dirty set, not the shard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_SERVE_SHARD_H
+#define PST_SERVE_SHARD_H
+
+#include "pst/incremental/IncrementalPst.h"
+#include "pst/serve/EpochTable.h"
+#include "pst/serve/Snapshot.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pst {
+namespace serve {
+
+/// An immutable published view of one shard: version + overlay of
+/// refrozen functions (sorted by function id) over the base image.
+struct ShardEpoch {
+  uint64_t Version = 0;
+  std::vector<std::pair<uint64_t, std::shared_ptr<const FunctionSnapshot>>>
+      Overlay;
+
+  /// The overlay snapshot for \p Fn, or null if \p Fn resolves to the
+  /// base image in this epoch.
+  const FunctionSnapshot *find(uint64_t Fn) const;
+};
+
+/// A function resolved under a pinned epoch: zero-copy views into either
+/// the base image or an overlay snapshot. Valid while the pin (and the
+/// server) lives.
+struct ResolvedFunction {
+  CfgView View;
+  ProgramStructureTree Pst;
+  std::string_view Name;
+  /// True when this epoch's overlay (not the base image) supplied it.
+  bool FromOverlay = false;
+};
+
+struct ShardStats {
+  uint64_t Edits = 0;         ///< Accepted edits journaled so far.
+  uint64_t EditsRejected = 0; ///< Edits refused by CFG-validity checks.
+  uint64_t Commits = 0;       ///< Commit batches published (excl. epoch 0).
+  uint64_t Refrozen = 0;      ///< Function snapshots rebuilt across commits.
+  uint64_t Published = 0;     ///< EpochTable publishes (incl. epoch 0).
+  uint64_t Reclaimed = 0;     ///< Snapshots reclaimed at quiescence.
+};
+
+/// One shard. Readers: \c pin / \c resolve / \c currentVersion from any
+/// thread. Writer: the edit API and \c commit from one thread at a time.
+class Shard {
+public:
+  /// \p Base must outlive the shard. Publishes epoch 0 (empty overlay)
+  /// immediately, so \c pin never blocks.
+  Shard(const CorpusImage &Base, uint32_t Index, uint32_t NumShards,
+        uint32_t EpochCapacity = 64);
+
+  uint32_t index() const { return Index; }
+  bool owns(uint64_t Fn) const { return Fn % NumShards == Index; }
+
+  // -- Reader API ----------------------------------------------------------
+
+  EpochTable<ShardEpoch>::Pin pin() const { return Epochs.pin(); }
+  uint64_t currentVersion() const { return Epochs.currentVersion(); }
+  /// Resolves global function \p Fn (which this shard must own) under
+  /// \p E — overlay snapshot if the shard republished it, base image
+  /// views otherwise.
+  ResolvedFunction resolve(const ShardEpoch &E, uint64_t Fn) const;
+
+  // -- Writer API (single-threaded) ----------------------------------------
+
+  /// Journals an edit on \p Fn. Edge-addressed forms take (Src, Dst) and
+  /// resolve to the first live edge with those endpoints in the writer's
+  /// current graph. Rejected edits (validity, unknown edge) return the
+  /// Invalid sentinel / false and journal nothing.
+  EdgeId insertEdge(uint64_t Fn, NodeId Src, NodeId Dst);
+  bool deleteEdge(uint64_t Fn, NodeId Src, NodeId Dst);
+  NodeId splitBlock(uint64_t Fn, NodeId Src, NodeId Dst);
+  NodeId addBlock(uint64_t Fn, NodeId Src, NodeId Dst);
+
+  /// Functions with journaled-but-unpublished edits.
+  uint32_t pendingFunctions() const;
+
+  /// Commits every dirty function's journal, refreezes those functions,
+  /// and publishes a new epoch. Returns the published version (the
+  /// current version unchanged if nothing was dirty).
+  uint64_t commit();
+
+  /// Re-checks the byte-identity invariant for every overlaid function
+  /// of the *current* epoch: published snapshot == from-scratch freeze
+  /// of the writer's current committed graph. Writer thread (or
+  /// quiescence) only — it reads writer state.
+  bool verifyPublished(std::string *Why = nullptr) const;
+
+  /// The writer's current committed graph for \p Fn (materialized,
+  /// compact). Writer thread or quiescence only. Used by tests/bench as
+  /// the from-scratch oracle input.
+  Cfg writerGraph(uint64_t Fn) const;
+
+  /// Incremental-maintenance stats for \p Fn, or null if the shard never
+  /// edited it. Writer thread or quiescence only.
+  const IncrementalPstStats *writerStats(uint64_t Fn) const;
+
+  ShardStats stats() const;
+
+private:
+  struct FunctionWriter {
+    std::unique_ptr<DynamicCfg> Graph;
+    std::unique_ptr<IncrementalPst> Inc;
+    std::string Name;
+    bool Dirty = false;
+  };
+
+  /// Lazily materializes the writer state for \p Fn from the base image.
+  FunctionWriter &writer(uint64_t Fn);
+  /// First live edge Src -> Dst in \p W's graph, or InvalidEdge.
+  EdgeId findLiveEdge(const FunctionWriter &W, NodeId Src, NodeId Dst) const;
+
+  const CorpusImage &Base;
+  uint32_t Index;
+  uint32_t NumShards;
+  // Ordered so commits refreeze in deterministic function order.
+  std::map<uint64_t, FunctionWriter> Writers;
+  /// The writer's working overlay; copied into each published epoch.
+  std::vector<std::pair<uint64_t, std::shared_ptr<const FunctionSnapshot>>>
+      WorkingOverlay;
+  EpochTable<ShardEpoch> Epochs;
+  uint64_t NextVersion = 0;
+  uint64_t Edits = 0, EditsRejected = 0, Commits = 0, Refrozen = 0;
+
+  // Per-shard telemetry probe names (leaked literals; see Shard.cpp).
+  const char *ProbeCommitNs;
+  const char *ProbeRefrozen;
+};
+
+} // namespace serve
+} // namespace pst
+
+#endif // PST_SERVE_SHARD_H

@@ -1,0 +1,78 @@
+//===- pst/serve/Snapshot.h - Frozen per-function snapshots -----*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The immutable unit the serving layer publishes: one function's CFG and
+/// PST frozen at a commit point.
+///
+/// A FunctionSnapshot *is* a single-function corpus image — `freeze` runs
+/// the committed graph through `buildCorpusImage` and adopts the result
+/// (`CfgView::adopt` / `ProgramStructureTree::adoptExternal`) exactly the
+/// way `CorpusImage::map` does for on-disk images. That buys the serving
+/// layer the byte-identity invariant for free: the image format is byte-
+/// deterministic for a given CFG, so "this published snapshot equals a
+/// from-scratch rebuild of the shard's current graph" is a memcmp of
+/// image bytes (checked by \c snapshotMatchesFromScratch, and enforced by
+/// the serve tests and `time_serve`'s exit-1 gate), not a structural walk
+/// that could miss a field. It also means snapshots are self-contained —
+/// dropping one epoch's overlay frees everything that epoch pinned, with
+/// no aliasing into writer state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_SERVE_SNAPSHOT_H
+#define PST_SERVE_SNAPSHOT_H
+
+#include "pst/image/CorpusImage.h"
+
+#include <memory>
+
+namespace pst {
+namespace serve {
+
+/// One function frozen at a commit point. Immutable after construction;
+/// shared by every epoch overlay that includes it.
+class FunctionSnapshot {
+public:
+  /// Freezes \p G (which must satisfy \c validateCfg) under \p Name.
+  /// Builds the single-function image, so this is a full from-scratch
+  /// analysis of \p G — the serving layer calls it once per dirtied
+  /// function per commit, not per query.
+  static std::shared_ptr<const FunctionSnapshot> freeze(const Cfg &G,
+                                                        std::string_view Name);
+
+  /// The frozen CSR adjacency, adopted from the image bytes.
+  const CfgView &cfg() const { return View; }
+  /// The frozen PST, adopted from the image bytes.
+  const ProgramStructureTree &pst() const { return Tree; }
+  std::string_view name() const { return Img.functionName(0); }
+  /// The underlying single-function image bytes (the byte-identity
+  /// currency; see the file comment).
+  std::span<const uint8_t> imageBytes() const { return Img.rawBytes(); }
+
+  FunctionSnapshot(const FunctionSnapshot &) = delete;
+  FunctionSnapshot &operator=(const FunctionSnapshot &) = delete;
+
+private:
+  FunctionSnapshot() = default;
+
+  CorpusImage Img;
+  CfgView View;
+  ProgramStructureTree Tree;
+};
+
+/// Checks that \p S is byte-for-byte the freeze of \p Current: rebuilds
+/// the single-function image from scratch and memcmps. On mismatch
+/// returns false and, when \p Why is non-null, a short diagnostic.
+bool snapshotMatchesFromScratch(const FunctionSnapshot &S, const Cfg &Current,
+                                std::string *Why = nullptr);
+
+} // namespace serve
+} // namespace pst
+
+#endif // PST_SERVE_SNAPSHOT_H

@@ -14,6 +14,7 @@
 
 #include "pst/obs/Telemetry.h"
 #include "pst/obs/ScopedTimer.h"
+#include "pst/obs/TelemetryMerge.h"
 
 #include <algorithm>
 #include <cassert>
@@ -25,6 +26,7 @@ using namespace pst;
 
 std::atomic<bool> pst::obs_detail::TelemetryOn{false};
 std::atomic<bool> pst::obs_detail::TraceOn{false};
+std::atomic<uint64_t> pst::obs_detail::SpanSampleEveryN{0};
 
 namespace {
 
@@ -52,6 +54,10 @@ struct ThreadSink {
   std::vector<SpanFrame> Stack;
   std::vector<SpanEvent> Events;
   uint64_t DroppedSpans = 0;
+  uint64_t SampledOutSpans = 0;
+  /// Completed-while-tracing span count, driving the 1-in-N decimation
+  /// phase (span I is retained iff I % N == 0).
+  uint64_t CompletedSpans = 0;
   uint32_t ThreadIndex = 0;
 
   template <class T>
@@ -70,6 +76,8 @@ struct ThreadSink {
     Values.clear();
     Events.clear();
     DroppedSpans = 0;
+    SampledOutSpans = 0;
+    CompletedSpans = 0; // Restart the decimation phase with the epoch.
     // Deliberately keep Stack: open spans belong to in-flight scopes.
   }
 };
@@ -88,6 +96,7 @@ struct RegistryImpl {
   std::map<std::string, ValueStats> RetiredValues;
   std::vector<SpanEvent> RetiredEvents;
   uint64_t RetiredDropped = 0;
+  uint64_t RetiredSampledOut = 0;
 
   static RegistryImpl &get() {
     static RegistryImpl *I = new RegistryImpl(); // Leaked by design.
@@ -110,6 +119,7 @@ struct RegistryImpl {
       Out.Values[N].merge(V);
     Out.Spans.insert(Out.Spans.end(), S.Events.begin(), S.Events.end());
     Out.DroppedSpans += S.DroppedSpans;
+    Out.SampledOutSpans += S.SampledOutSpans;
   }
 
   void retire(ThreadSink *S) {
@@ -123,6 +133,7 @@ struct RegistryImpl {
     RetiredEvents.insert(RetiredEvents.end(), S->Events.begin(),
                          S->Events.end());
     RetiredDropped += S->DroppedSpans;
+    RetiredSampledOut += S->SampledOutSpans;
     Live.erase(std::remove(Live.begin(), Live.end(), S), Live.end());
   }
 };
@@ -172,6 +183,16 @@ void pst::obs_detail::spanEnd(const char *Name, uint64_t StartNs,
   ThreadSink::slot(S.Timers, Name).record(Dur);
   if (!Telemetry::traceEnabled())
     return;
+  // 1-in-N retention sampling (duration stats above already saw the
+  // span). Deterministic per-thread decimation: span I is kept iff
+  // I % N == 0, so a multi-minute trace keeps an unbiased, evenly spaced
+  // subset instead of truncating at the cap.
+  uint64_t Every = Telemetry::spanSampleEvery();
+  uint64_t Seq = S.CompletedSpans++;
+  if (Every > 1 && (Seq % Every) != 0) {
+    ++S.SampledOutSpans;
+    return;
+  }
   if (S.Events.size() >= MaxSpansPerThread) {
     ++S.DroppedSpans;
     return;
@@ -206,6 +227,7 @@ TelemetrySnapshot TelemetryRegistry::snapshot() {
   Out.Values = R.RetiredValues;
   Out.Spans = R.RetiredEvents;
   Out.DroppedSpans = R.RetiredDropped;
+  Out.SampledOutSpans = R.RetiredSampledOut;
   for (const ThreadSink *S : R.Live)
     R.mergeInto(*S, Out);
   return Out;
@@ -219,73 +241,25 @@ void TelemetryRegistry::reset() {
   R.RetiredValues.clear();
   R.RetiredEvents.clear();
   R.RetiredDropped = 0;
+  R.RetiredSampledOut = 0;
   for (ThreadSink *S : R.Live)
     S->clear();
   R.Epoch = Clock::now();
 }
 
-namespace {
-
-void appendEscaped(std::ostream &OS, std::string_view S) {
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      OS << '\\' << C;
-    else if (static_cast<unsigned char>(C) < 0x20)
-      OS << ' ';
-    else
-      OS << C;
-  }
-}
-
-void appendStats(std::ostream &OS, const ValueStats &V) {
-  OS << "{\"count\": " << V.Count << ", \"sum\": " << V.Sum
-     << ", \"min\": " << (V.Count ? V.Min : 0) << ", \"max\": " << V.Max
-     << ", \"mean\": " << V.mean() << ", \"log2_buckets\": [";
-  bool First = true;
-  for (unsigned I = 0; I < ValueStats::NumBuckets; ++I) {
-    if (!V.Buckets[I])
-      continue;
-    OS << (First ? "" : ", ") << "[" << I << ", " << V.Buckets[I] << "]";
-    First = false;
-  }
-  OS << "]}";
-}
-
-template <class T, class Fn>
-void appendMap(std::ostream &OS, const char *Key,
-               const std::map<std::string, T> &M, Fn &&Value, bool Last) {
-  OS << "  \"" << Key << "\": {";
-  bool First = true;
-  for (const auto &[N, V] : M) {
-    OS << (First ? "\n    \"" : ",\n    \"");
-    appendEscaped(OS, N);
-    OS << "\": ";
-    Value(V);
-    First = false;
-  }
-  OS << (First ? "}" : "\n  }") << (Last ? "\n" : ",\n");
-}
-
-} // namespace
-
 std::string TelemetryRegistry::toJson() {
+  // Serialized through the same code path telemetry-merge uses
+  // (telemetryStatsToJson), so a parse -> reserialize round trip and a
+  // merged multi-process report are byte-compatible with this dump.
   TelemetrySnapshot S = snapshot();
-  std::ostringstream OS;
-  OS << "{\n";
-  OS << "  \"telemetry_compiled\": " << (PST_TELEMETRY ? "true" : "false")
-     << ",\n";
-  OS << "  \"telemetry_enabled\": "
-     << (Telemetry::enabled() ? "true" : "false") << ",\n";
-  OS << "  \"spans_retained\": " << S.Spans.size() << ",\n";
-  OS << "  \"spans_dropped\": " << S.DroppedSpans << ",\n";
-  appendMap(OS, "counters", S.Counters,
-            [&OS](uint64_t V) { OS << V; }, /*Last=*/false);
-  appendMap(OS, "timers_ns", S.Timers,
-            [&OS](const ValueStats &V) { appendStats(OS, V); },
-            /*Last=*/false);
-  appendMap(OS, "values", S.Values,
-            [&OS](const ValueStats &V) { appendStats(OS, V); },
-            /*Last=*/true);
-  OS << "}\n";
-  return OS.str();
+  TelemetryStats Out;
+  Out.Compiled = PST_TELEMETRY != 0;
+  Out.Enabled = Telemetry::enabled();
+  Out.SpansRetained = S.Spans.size();
+  Out.SpansDropped = S.DroppedSpans;
+  Out.SpansSampledOut = S.SampledOutSpans;
+  Out.Counters = std::move(S.Counters);
+  Out.Timers = std::move(S.Timers);
+  Out.Values = std::move(S.Values);
+  return telemetryStatsToJson(Out);
 }

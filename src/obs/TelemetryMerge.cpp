@@ -1,0 +1,353 @@
+//===- TelemetryMerge.cpp - Cross-process stats merging -----------------------===//
+//
+// Part of the PST library (see TelemetryMerge.h for the reference).
+//
+// The serializer here is *the* stats-dump serializer: Telemetry.cpp's
+// TelemetryRegistry::toJson() delegates to telemetryStatsToJson so the
+// per-process dump, a parse->reserialize round trip, and a merged fleet
+// report all share one byte format. The parser is a small cursor-based
+// reader for exactly that format (our own dump, not arbitrary JSON): it
+// accepts the known keys in any order, tolerates whitespace, and treats
+// anything else as malformed input rather than guessing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/obs/TelemetryMerge.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace pst;
+
+//===----------------------------------------------------------------------===//
+// Serialization (shared with TelemetryRegistry::toJson)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendEscaped(std::ostream &OS, std::string_view S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      OS << '\\' << C;
+    else if (static_cast<unsigned char>(C) < 0x20)
+      OS << ' ';
+    else
+      OS << C;
+  }
+}
+
+void appendStats(std::ostream &OS, const ValueStats &V) {
+  OS << "{\"count\": " << V.Count << ", \"sum\": " << V.Sum
+     << ", \"min\": " << (V.Count ? V.Min : 0) << ", \"max\": " << V.Max
+     << ", \"mean\": " << V.mean() << ", \"log2_buckets\": [";
+  bool First = true;
+  for (unsigned I = 0; I < ValueStats::NumBuckets; ++I) {
+    if (!V.Buckets[I])
+      continue;
+    OS << (First ? "" : ", ") << "[" << I << ", " << V.Buckets[I] << "]";
+    First = false;
+  }
+  OS << "]}";
+}
+
+template <class T, class Fn>
+void appendMap(std::ostream &OS, const char *Key,
+               const std::map<std::string, T> &M, Fn &&Value, bool Last) {
+  OS << "  \"" << Key << "\": {";
+  bool First = true;
+  for (const auto &[N, V] : M) {
+    OS << (First ? "\n    \"" : ",\n    \"");
+    appendEscaped(OS, N);
+    OS << "\": ";
+    Value(V);
+    First = false;
+  }
+  OS << (First ? "}" : "\n  }") << (Last ? "\n" : ",\n");
+}
+
+} // namespace
+
+std::string pst::telemetryStatsToJson(const TelemetryStats &S) {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"telemetry_compiled\": " << (S.Compiled ? "true" : "false")
+     << ",\n";
+  OS << "  \"telemetry_enabled\": " << (S.Enabled ? "true" : "false")
+     << ",\n";
+  OS << "  \"spans_retained\": " << S.SpansRetained << ",\n";
+  OS << "  \"spans_dropped\": " << S.SpansDropped << ",\n";
+  OS << "  \"spans_sampled_out\": " << S.SpansSampledOut << ",\n";
+  appendMap(OS, "counters", S.Counters,
+            [&OS](uint64_t V) { OS << V; }, /*Last=*/false);
+  appendMap(OS, "timers_ns", S.Timers,
+            [&OS](const ValueStats &V) { appendStats(OS, V); },
+            /*Last=*/false);
+  appendMap(OS, "values", S.Values,
+            [&OS](const ValueStats &V) { appendStats(OS, V); },
+            /*Last=*/true);
+  OS << "}\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Cursor over the dump text. Every parse helper returns false after
+/// recording the first error; subsequent calls bail immediately, so call
+/// sites can chain without checking each step.
+struct Reader {
+  std::string_view In;
+  size_t Pos = 0;
+  std::string Error;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  bool failed() const { return !Error.empty(); }
+
+  void skipWs() {
+    while (Pos < In.size() &&
+           std::isspace(static_cast<unsigned char>(In[Pos])))
+      ++Pos;
+  }
+
+  bool expect(char C) {
+    if (failed())
+      return false;
+    skipWs();
+    if (Pos >= In.size() || In[Pos] != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+
+  /// Peeks past whitespace without consuming.
+  char peek() {
+    skipWs();
+    return Pos < In.size() ? In[Pos] : '\0';
+  }
+
+  bool parseString(std::string &Out) {
+    if (!expect('"'))
+      return false;
+    Out.clear();
+    while (Pos < In.size() && In[Pos] != '"') {
+      char C = In[Pos++];
+      if (C == '\\') {
+        if (Pos >= In.size())
+          return fail("unterminated escape");
+        C = In[Pos++];
+      }
+      Out.push_back(C);
+    }
+    if (Pos >= In.size())
+      return fail("unterminated string");
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool parseUInt(uint64_t &Out) {
+    if (failed())
+      return false;
+    skipWs();
+    if (Pos >= In.size() || !std::isdigit(static_cast<unsigned char>(In[Pos])))
+      return fail("expected integer");
+    Out = 0;
+    while (Pos < In.size() &&
+           std::isdigit(static_cast<unsigned char>(In[Pos])))
+      Out = Out * 10 + static_cast<uint64_t>(In[Pos++] - '0');
+    return true;
+  }
+
+  bool parseBool(bool &Out) {
+    if (failed())
+      return false;
+    skipWs();
+    if (In.substr(Pos, 4) == "true") {
+      Pos += 4;
+      Out = true;
+      return true;
+    }
+    if (In.substr(Pos, 5) == "false") {
+      Pos += 5;
+      Out = false;
+      return true;
+    }
+    return fail("expected true/false");
+  }
+
+  /// Skips a numeric literal (the "mean" field may be fractional or in
+  /// scientific notation; it is derived state and never read back).
+  bool skipNumber() {
+    if (failed())
+      return false;
+    skipWs();
+    size_t Start = Pos;
+    while (Pos < In.size() &&
+           (std::isdigit(static_cast<unsigned char>(In[Pos])) ||
+            In[Pos] == '.' || In[Pos] == 'e' || In[Pos] == 'E' ||
+            In[Pos] == '+' || In[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected number");
+    return true;
+  }
+};
+
+bool parseStatsObject(Reader &R, ValueStats &V) {
+  if (!R.expect('{'))
+    return false;
+  bool SawCount = false;
+  if (R.peek() != '}') {
+    for (;;) {
+      std::string Key;
+      if (!R.parseString(Key) || !R.expect(':'))
+        return false;
+      if (Key == "count") {
+        if (!R.parseUInt(V.Count))
+          return false;
+        SawCount = true;
+      } else if (Key == "sum") {
+        if (!R.parseUInt(V.Sum))
+          return false;
+      } else if (Key == "min") {
+        if (!R.parseUInt(V.Min))
+          return false;
+      } else if (Key == "max") {
+        if (!R.parseUInt(V.Max))
+          return false;
+      } else if (Key == "mean") {
+        if (!R.skipNumber())
+          return false;
+      } else if (Key == "log2_buckets") {
+        if (!R.expect('['))
+          return false;
+        if (R.peek() != ']') {
+          for (;;) {
+            uint64_t Bucket = 0, N = 0;
+            if (!R.expect('[') || !R.parseUInt(Bucket) || !R.expect(',') ||
+                !R.parseUInt(N) || !R.expect(']'))
+              return false;
+            if (Bucket >= ValueStats::NumBuckets)
+              return R.fail("bucket index out of range");
+            V.Buckets[Bucket] = N;
+            if (R.peek() != ',')
+              break;
+            R.expect(',');
+          }
+        }
+        if (!R.expect(']'))
+          return false;
+      } else {
+        return R.fail("unknown stats key \"" + Key + "\"");
+      }
+      if (R.peek() != ',')
+        break;
+      R.expect(',');
+    }
+  }
+  if (!R.expect('}'))
+    return false;
+  // The serializer writes min as 0 for empty stats; restore the "no
+  // samples yet" sentinel so a later merge doesn't clamp real minima.
+  if (SawCount && V.Count == 0)
+    V.Min = ~uint64_t(0);
+  return true;
+}
+
+template <class T, class ParseValue>
+bool parseStringMap(Reader &R, std::map<std::string, T> &Out,
+                    ParseValue &&PV) {
+  if (!R.expect('{'))
+    return false;
+  if (R.peek() != '}') {
+    for (;;) {
+      std::string Key;
+      if (!R.parseString(Key) || !R.expect(':'))
+        return false;
+      if (!PV(Out[Key]))
+        return false;
+      if (R.peek() != ',')
+        break;
+      R.expect(',');
+    }
+  }
+  return R.expect('}');
+}
+
+} // namespace
+
+bool pst::parseTelemetryJson(std::string_view Json, TelemetryStats &Out,
+                             std::string *Error) {
+  Reader R{Json};
+  Out = TelemetryStats{};
+  bool Ok = R.expect('{');
+  if (Ok && R.peek() != '}') {
+    for (;;) {
+      std::string Key;
+      if (!R.parseString(Key) || !R.expect(':')) {
+        Ok = false;
+        break;
+      }
+      if (Key == "telemetry_compiled")
+        Ok = R.parseBool(Out.Compiled);
+      else if (Key == "telemetry_enabled")
+        Ok = R.parseBool(Out.Enabled);
+      else if (Key == "spans_retained")
+        Ok = R.parseUInt(Out.SpansRetained);
+      else if (Key == "spans_dropped")
+        Ok = R.parseUInt(Out.SpansDropped);
+      else if (Key == "spans_sampled_out")
+        Ok = R.parseUInt(Out.SpansSampledOut);
+      else if (Key == "counters")
+        Ok = parseStringMap(R, Out.Counters,
+                            [&R](uint64_t &V) { return R.parseUInt(V); });
+      else if (Key == "timers_ns")
+        Ok = parseStringMap(R, Out.Timers, [&R](ValueStats &V) {
+          return parseStatsObject(R, V);
+        });
+      else if (Key == "values")
+        Ok = parseStringMap(R, Out.Values, [&R](ValueStats &V) {
+          return parseStatsObject(R, V);
+        });
+      else
+        Ok = R.fail("unknown key \"" + Key + "\"");
+      if (!Ok)
+        break;
+      if (R.peek() != ',')
+        break;
+      R.expect(',');
+    }
+  }
+  if (Ok)
+    Ok = R.expect('}');
+  if (!Ok && Error)
+    *Error = R.Error.empty() ? "malformed telemetry dump" : R.Error;
+  return Ok;
+}
+
+TelemetryStats pst::mergeTelemetryStats(std::span<const TelemetryStats> Parts) {
+  TelemetryStats Out;
+  Out.Compiled = true;
+  Out.Enabled = false;
+  for (const TelemetryStats &P : Parts) {
+    Out.Compiled = Out.Compiled && P.Compiled;
+    Out.Enabled = Out.Enabled || P.Enabled;
+    Out.SpansRetained += P.SpansRetained;
+    Out.SpansDropped += P.SpansDropped;
+    Out.SpansSampledOut += P.SpansSampledOut;
+    for (const auto &[N, V] : P.Counters)
+      Out.Counters[N] += V;
+    for (const auto &[N, V] : P.Timers)
+      Out.Timers[N].merge(V);
+    for (const auto &[N, V] : P.Values)
+      Out.Values[N].merge(V);
+  }
+  return Out;
+}

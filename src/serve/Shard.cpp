@@ -1,0 +1,279 @@
+//===- Shard.cpp - One shard's writer + epoch table ---------------------------===//
+//
+// Part of the PST library (see Shard.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/serve/Shard.h"
+
+#include "pst/obs/ScopedTimer.h"
+#include "pst/obs/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <mutex>
+
+using namespace pst;
+using namespace pst::serve;
+
+namespace {
+
+/// Telemetry probe names must outlive the program (the registry keys by
+/// pointer-or-content on literals); per-shard names are dynamic, so
+/// intern them into a deliberately leaked pool, once per shard.
+const char *internProbe(std::string S) {
+  static std::mutex M;
+  static std::vector<std::string *> *Pool = new std::vector<std::string *>();
+  std::lock_guard<std::mutex> Lock(M);
+  for (const std::string *P : *Pool)
+    if (*P == S)
+      return P->c_str();
+  Pool->push_back(new std::string(std::move(S)));
+  return Pool->back()->c_str();
+}
+
+} // namespace
+
+const FunctionSnapshot *ShardEpoch::find(uint64_t Fn) const {
+  auto It = std::lower_bound(
+      Overlay.begin(), Overlay.end(), Fn,
+      [](const auto &Entry, uint64_t Key) { return Entry.first < Key; });
+  if (It == Overlay.end() || It->first != Fn)
+    return nullptr;
+  return It->second.get();
+}
+
+Shard::Shard(const CorpusImage &Base, uint32_t Index, uint32_t NumShards,
+             uint32_t EpochCapacity)
+    : Base(Base), Index(Index), NumShards(NumShards), Epochs(EpochCapacity),
+      ProbeCommitNs(
+          internProbe("serve.shard" + std::to_string(Index) + ".commit_ns")),
+      ProbeRefrozen(
+          internProbe("serve.shard" + std::to_string(Index) + ".refrozen")) {
+  assert(NumShards > 0 && Index < NumShards && "bad shard routing");
+  // Epoch 0: the pristine base image. Published before any reader can
+  // exist, so pin() never spins on an empty table.
+  auto E = std::make_unique<ShardEpoch>();
+  E->Version = 0;
+  Epochs.publish(std::move(E), 0);
+  NextVersion = 1;
+}
+
+ResolvedFunction Shard::resolve(const ShardEpoch &E, uint64_t Fn) const {
+  assert(owns(Fn) && "function routed to the wrong shard");
+  ResolvedFunction Out;
+  if (const FunctionSnapshot *S = E.find(Fn)) {
+    Out.View = S->cfg();
+    Out.Pst = S->pst();
+    Out.Name = S->name();
+    Out.FromOverlay = true;
+  } else {
+    Out.View = Base.cfg(Fn);
+    Out.Pst = Base.pst(Fn);
+    Out.Name = Base.functionName(Fn);
+  }
+  return Out;
+}
+
+Shard::FunctionWriter &Shard::writer(uint64_t Fn) {
+  assert(owns(Fn) && Fn < Base.numFunctions());
+  auto It = Writers.find(Fn);
+  if (It != Writers.end())
+    return It->second;
+  // First edit on this function: materialize the base image's graph
+  // (node/edge ids carry over exactly) and run the initial full build.
+  FunctionWriter W;
+  W.Name = std::string(Base.functionName(Fn));
+  W.Graph = std::make_unique<DynamicCfg>(Base.materializeCfg(Fn));
+  W.Inc = std::make_unique<IncrementalPst>(*W.Graph);
+  return Writers.emplace(Fn, std::move(W)).first->second;
+}
+
+EdgeId Shard::findLiveEdge(const FunctionWriter &W, NodeId Src,
+                           NodeId Dst) const {
+  const Cfg &G = W.Graph->graph();
+  if (Src >= G.numNodes() || Dst >= G.numNodes())
+    return InvalidEdge;
+  for (EdgeId E : G.node(Src).Succs)
+    if (W.Graph->edgeLive(E) && G.target(E) == Dst)
+      return E;
+  return InvalidEdge;
+}
+
+EdgeId Shard::insertEdge(uint64_t Fn, NodeId Src, NodeId Dst) {
+  FunctionWriter &W = writer(Fn);
+  if (Src >= W.Graph->numNodes() || Dst >= W.Graph->numNodes()) {
+    ++EditsRejected;
+    return InvalidEdge;
+  }
+  EdgeId E = W.Inc->insertEdge(Src, Dst);
+  if (E == InvalidEdge) {
+    ++EditsRejected;
+    return InvalidEdge;
+  }
+  W.Dirty = true;
+  ++Edits;
+  PST_COUNTER("serve.edits", 1);
+  return E;
+}
+
+bool Shard::deleteEdge(uint64_t Fn, NodeId Src, NodeId Dst) {
+  FunctionWriter &W = writer(Fn);
+  EdgeId E = findLiveEdge(W, Src, Dst);
+  if (E == InvalidEdge || !W.Inc->deleteEdge(E)) {
+    ++EditsRejected;
+    return false;
+  }
+  W.Dirty = true;
+  ++Edits;
+  PST_COUNTER("serve.edits", 1);
+  return true;
+}
+
+NodeId Shard::splitBlock(uint64_t Fn, NodeId Src, NodeId Dst) {
+  FunctionWriter &W = writer(Fn);
+  EdgeId E = findLiveEdge(W, Src, Dst);
+  if (E == InvalidEdge) {
+    ++EditsRejected;
+    return InvalidNode;
+  }
+  NodeId N = W.Inc->splitBlock(E);
+  if (N == InvalidNode) {
+    ++EditsRejected;
+    return InvalidNode;
+  }
+  W.Dirty = true;
+  ++Edits;
+  PST_COUNTER("serve.edits", 1);
+  return N;
+}
+
+NodeId Shard::addBlock(uint64_t Fn, NodeId Src, NodeId Dst) {
+  FunctionWriter &W = writer(Fn);
+  if (Src >= W.Graph->numNodes() || Dst >= W.Graph->numNodes()) {
+    ++EditsRejected;
+    return InvalidNode;
+  }
+  NodeId N = W.Inc->addBlock(Src, Dst);
+  if (N == InvalidNode) {
+    ++EditsRejected;
+    return InvalidNode;
+  }
+  W.Dirty = true;
+  ++Edits;
+  PST_COUNTER("serve.edits", 1);
+  return N;
+}
+
+uint32_t Shard::pendingFunctions() const {
+  uint32_t N = 0;
+  for (const auto &[Fn, W] : Writers)
+    if (W.Dirty)
+      ++N;
+  return N;
+}
+
+uint64_t Shard::commit() {
+  PST_SPAN("serve.commit");
+  auto Start = std::chrono::steady_clock::now();
+  bool Any = false;
+  for (auto &[Fn, W] : Writers) {
+    if (!W.Dirty)
+      continue;
+    // Fold the journal into the incremental tree (dirty-region rebuild;
+    // this is where edit-time validation and reprocess stats live), then
+    // refreeze the function from its materialized graph so the published
+    // snapshot is bit-equal to a from-scratch freeze (see Shard.h).
+    W.Inc->commit();
+    auto Snap = FunctionSnapshot::freeze(W.Graph->materialize(), W.Name);
+    assert(Snap && "refreeze of a validated graph cannot fail");
+    auto It = std::lower_bound(
+        WorkingOverlay.begin(), WorkingOverlay.end(), Fn,
+        [](const auto &Entry, uint64_t Key) { return Entry.first < Key; });
+    if (It != WorkingOverlay.end() && It->first == Fn)
+      It->second = std::move(Snap);
+    else
+      WorkingOverlay.insert(It, {Fn, std::move(Snap)});
+    W.Dirty = false;
+    ++Refrozen;
+    PST_COUNTER("serve.functions_refrozen", 1);
+    PST_COUNTER(ProbeRefrozen, 1);
+    Any = true;
+  }
+  if (!Any)
+    return Epochs.currentVersion();
+  auto E = std::make_unique<ShardEpoch>();
+  E->Version = NextVersion;
+  E->Overlay = WorkingOverlay;
+  uint64_t V = NextVersion++;
+  Epochs.publish(std::move(E), V);
+  ++Commits;
+  PST_COUNTER("serve.commits", 1);
+  uint64_t DurNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  PST_VALUE("serve.commit_ns", DurNs);
+  PST_VALUE(ProbeCommitNs, DurNs);
+  return V;
+}
+
+bool Shard::verifyPublished(std::string *Why) const {
+  auto Pinned = Epochs.pin();
+  for (const auto &[Fn, Snap] : Pinned->Overlay) {
+    auto It = Writers.find(Fn);
+    if (It == Writers.end()) {
+      if (Why)
+        *Why = "overlaid function " + std::to_string(Fn) +
+               " has no writer state";
+      return false;
+    }
+    if (It->second.Dirty) {
+      if (Why)
+        *Why = "function " + std::to_string(Fn) +
+               " has journaled edits not yet committed; the invariant is "
+               "defined at commit points";
+      return false;
+    }
+    std::string Inner;
+    if (!snapshotMatchesFromScratch(*Snap, It->second.Graph->materialize(),
+                                    &Inner)) {
+      if (Why)
+        *Why = "function " + std::to_string(Fn) + ": " + Inner;
+      return false;
+    }
+    // Belt and braces: the incremental tree must also agree structurally
+    // with a from-scratch build of its own graph.
+    if (!It->second.Inc->equalsFromScratch(&Inner)) {
+      if (Why)
+        *Why = "function " + std::to_string(Fn) +
+               ": incremental tree diverged: " + Inner;
+      return false;
+    }
+  }
+  return true;
+}
+
+Cfg Shard::writerGraph(uint64_t Fn) const {
+  auto It = Writers.find(Fn);
+  if (It == Writers.end())
+    return Base.materializeCfg(Fn);
+  return It->second.Graph->materialize();
+}
+
+const IncrementalPstStats *Shard::writerStats(uint64_t Fn) const {
+  auto It = Writers.find(Fn);
+  return It == Writers.end() ? nullptr : &It->second.Inc->stats();
+}
+
+ShardStats Shard::stats() const {
+  ShardStats S;
+  S.Edits = Edits;
+  S.EditsRejected = EditsRejected;
+  S.Commits = Commits;
+  S.Refrozen = Refrozen;
+  S.Published = Epochs.publishCount();
+  S.Reclaimed = Epochs.reclaimCount();
+  return S;
+}

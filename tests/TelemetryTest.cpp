@@ -18,6 +18,7 @@
 
 #include "pst/obs/ScopedTimer.h"
 #include "pst/obs/Telemetry.h"
+#include "pst/obs/TelemetryMerge.h"
 #include "pst/obs/TraceWriter.h"
 
 #include "pst/core/RegionAnalysis.h"
@@ -48,11 +49,13 @@ protected:
   void SetUp() override {
     Telemetry::setEnabled(false);
     Telemetry::setTraceEnabled(false);
+    Telemetry::setSpanSampleEvery(0);
     TelemetryRegistry::global().reset();
   }
   void TearDown() override {
     Telemetry::setEnabled(false);
     Telemetry::setTraceEnabled(false);
+    Telemetry::setSpanSampleEvery(0);
     TelemetryRegistry::global().reset();
   }
 };
@@ -282,6 +285,7 @@ TEST_F(TelemetryTest, ToJsonGolden) {
                          "  \"telemetry_enabled\": true,\n"
                          "  \"spans_retained\": 0,\n"
                          "  \"spans_dropped\": 0,\n"
+                         "  \"spans_sampled_out\": 0,\n"
                          "  \"counters\": {\n"
                          "    \"t.alpha\": 3,\n"
                          "    \"t.beta\": 1\n"
@@ -343,6 +347,140 @@ TEST_F(TelemetryTest, TraceWriterEscapesNames) {
   std::ostringstream OS;
   TraceWriter(Snap).write(OS);
   EXPECT_NE(OS.str().find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Span retention sampling
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, SpanSamplingKeepsEveryNth) {
+  Telemetry::setEnabled(true);
+  Telemetry::setTraceEnabled(true);
+  Telemetry::setSpanSampleEvery(4);
+  for (int I = 0; I < 100; ++I) {
+    ScopedTimer T("test.sampled");
+  }
+  TelemetrySnapshot S = TelemetryRegistry::global().snapshot();
+  // Retention is decimated 1-in-4 (spans 0, 4, 8, ... kept)...
+  EXPECT_EQ(S.Spans.size(), 25u);
+  EXPECT_EQ(S.SampledOutSpans, 75u);
+  EXPECT_EQ(S.DroppedSpans, 0u);
+  // ...while duration statistics still saw every span.
+  EXPECT_EQ(S.Timers["test.sampled"].Count, 100u);
+
+  // The dump reports the decimation.
+  EXPECT_NE(TelemetryRegistry::global().toJson().find(
+                "\"spans_sampled_out\": 75"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, SpanSamplingOffRetainsEverySpan) {
+  Telemetry::setEnabled(true);
+  Telemetry::setTraceEnabled(true);
+  for (int I = 0; I < 10; ++I) {
+    ScopedTimer T("test.unsampled");
+  }
+  TelemetrySnapshot S = TelemetryRegistry::global().snapshot();
+  EXPECT_EQ(S.Spans.size(), 10u);
+  EXPECT_EQ(S.SampledOutSpans, 0u);
+}
+
+TEST_F(TelemetryTest, SpanSamplingPhaseRestartsOnReset) {
+  Telemetry::setEnabled(true);
+  Telemetry::setTraceEnabled(true);
+  Telemetry::setSpanSampleEvery(3);
+  { ScopedTimer T("test.phase"); } // Span 0: kept.
+  { ScopedTimer T("test.phase"); } // Span 1: sampled out.
+  TelemetryRegistry::global().reset();
+  { ScopedTimer T("test.phase"); } // Span 0 again after reset: kept.
+  TelemetrySnapshot S = TelemetryRegistry::global().snapshot();
+  EXPECT_EQ(S.Spans.size(), 1u);
+  EXPECT_EQ(S.SampledOutSpans, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-process merging (pst/obs/TelemetryMerge.h)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, MergeParseRoundTripIsByteIdentical) {
+  Telemetry::setEnabled(true);
+  Telemetry::addCounter("m.count", 7);
+  Telemetry::recordValue("m.val", 3);
+  Telemetry::recordValue("m.val", 1000000);
+  { ScopedTimer T("m.span"); }
+
+  std::string Dump = TelemetryRegistry::global().toJson();
+  TelemetryStats S;
+  std::string Error;
+  ASSERT_TRUE(parseTelemetryJson(Dump, S, &Error)) << Error;
+  EXPECT_EQ(telemetryStatsToJson(S), Dump);
+  EXPECT_EQ(S.Counters["m.count"], 7u);
+  EXPECT_EQ(S.Values["m.val"].Count, 2u);
+  EXPECT_EQ(S.Values["m.val"].Sum, 1000003u);
+}
+
+TEST_F(TelemetryTest, MergeAddsCountersAndHistograms) {
+  TelemetryStats A;
+  A.Enabled = true;
+  A.SpansRetained = 10;
+  A.SpansSampledOut = 5;
+  A.Counters["shared"] = 3;
+  A.Counters["only_a"] = 1;
+  A.Values["lat"].record(4);
+  A.Values["lat"].record(8);
+
+  TelemetryStats B;
+  B.Enabled = false;
+  B.SpansRetained = 2;
+  B.SpansDropped = 1;
+  B.Counters["shared"] = 39;
+  B.Values["lat"].record(1);
+
+  TelemetryStats Parts[2] = {std::move(A), std::move(B)};
+  TelemetryStats M = mergeTelemetryStats(Parts);
+  EXPECT_TRUE(M.Compiled);
+  EXPECT_TRUE(M.Enabled); // OR of the parts.
+  EXPECT_EQ(M.SpansRetained, 12u);
+  EXPECT_EQ(M.SpansDropped, 1u);
+  EXPECT_EQ(M.SpansSampledOut, 5u);
+  EXPECT_EQ(M.Counters["shared"], 42u);
+  EXPECT_EQ(M.Counters["only_a"], 1u);
+  EXPECT_EQ(M.Values["lat"].Count, 3u);
+  EXPECT_EQ(M.Values["lat"].Sum, 13u);
+  EXPECT_EQ(M.Values["lat"].Min, 1u);
+  EXPECT_EQ(M.Values["lat"].Max, 8u);
+  // The merged mean is recomputed from count/sum, not averaged.
+  EXPECT_NE(telemetryStatsToJson(M).find("\"mean\": 4.33333"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, MergeEmptyStatsKeepMinSentinel) {
+  // An empty histogram serializes min as 0; the parser must restore the
+  // sentinel so merging it under a real histogram keeps the true min.
+  TelemetryStats Empty;
+  Empty.Values["lat"]; // Count == 0.
+  std::string Dump = telemetryStatsToJson(Empty);
+  TelemetryStats Parsed;
+  ASSERT_TRUE(parseTelemetryJson(Dump, Parsed));
+  EXPECT_EQ(Parsed.Values["lat"].Min, ~uint64_t(0));
+
+  TelemetryStats Real;
+  Real.Values["lat"].record(100);
+  TelemetryStats Parts[2] = {std::move(Parsed), std::move(Real)};
+  TelemetryStats M = mergeTelemetryStats(Parts);
+  EXPECT_EQ(M.Values["lat"].Min, 100u);
+}
+
+TEST_F(TelemetryTest, ParseRejectsMalformedDumps) {
+  TelemetryStats S;
+  std::string Error;
+  EXPECT_FALSE(parseTelemetryJson("{\"telemetry_compiled\": maybe}", S,
+                                  &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(parseTelemetryJson("not json at all", S, &Error));
+  EXPECT_FALSE(parseTelemetryJson("{\"unknown_key\": 1}", S, &Error));
+  // Truncated input.
+  EXPECT_FALSE(parseTelemetryJson("{\"counters\": {\"a\": 1", S, &Error));
 }
 
 //===----------------------------------------------------------------------===//
