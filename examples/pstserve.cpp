@@ -18,6 +18,11 @@
 //                          (default 256; use 1 for strictly interactive
 //                          pipes — batching is content-deterministic
 //                          either way)
+//     --no-derived-cache   disable the per-epoch derived-analysis cache
+//                          (DerivedCache.h) and recompute dominators/
+//                          cdep/frontiers per query; responses are
+//                          byte-identical either way (a CI smoke diffs
+//                          both transcripts against one golden)
 //     --listen <port>      accept TCP connections on <port> (one session
 //                          at a time) instead of serving stdin
 //     --stats              enable telemetry; print the stats dump
@@ -70,6 +75,7 @@ struct Options {
   uint32_t EpochCapacity = 64;
   size_t Batch = 256;
   int ListenPort = -1;
+  bool DerivedCache = true;
   bool Stats = false;
   std::string StatsOut;
   std::string TraceOut;
@@ -80,8 +86,8 @@ int usage(const char *Argv0) {
   std::cerr << "usage: " << Argv0
             << " --image <file> [--shards n] [--threads t]"
                " [--epoch-capacity k] [--batch b] [--listen port]"
-               " [--stats] [--stats-out f] [--trace-out f]"
-               " [--trace-sample n]\n";
+               " [--no-derived-cache] [--stats] [--stats-out f]"
+               " [--trace-out f] [--trace-sample n]\n";
   return 2;
 }
 
@@ -202,6 +208,8 @@ int main(int Argc, char **Argv) {
     else if (A == "--listen")
       Opt.ListenPort = static_cast<int>(std::strtol(Next("--listen"),
                                                     nullptr, 0));
+    else if (A == "--no-derived-cache")
+      Opt.DerivedCache = false;
     else if (A == "--stats")
       Opt.Stats = true;
     else if (A == "--stats-out")
@@ -227,6 +235,7 @@ int main(int Argc, char **Argv) {
   SOpts.NumShards = Opt.Shards ? Opt.Shards : 1;
   SOpts.NumThreads = Opt.Threads;
   SOpts.EpochCapacity = Opt.EpochCapacity;
+  SOpts.DerivedCache = Opt.DerivedCache;
 
   std::string Error;
   std::unique_ptr<PstServer> Server =

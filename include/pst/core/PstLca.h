@@ -1,0 +1,81 @@
+//===- pst/core/PstLca.h - O(1) region LCA over the PST ---------*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant-time region least-common-ancestor queries over a
+/// ProgramStructureTree.
+///
+/// The paper's promise is that region queries are O(1) once the PST is
+/// built; the serving layer's `region a b` query is an LCA over the two
+/// nodes' innermost regions, and a parent-chain walk makes it O(depth).
+/// PstLca restores the constant bound with the classic Euler-tour +
+/// sparse-table reduction: an Euler tour of the tree (length 2R-1 for R
+/// regions) turns LCA into a range-minimum query over tour depths, and a
+/// sparse table of power-of-two window minima answers any RMQ with two
+/// overlapping lookups. Construction is O(R log R) time and space; queries
+/// are two array reads and a comparison.
+///
+/// The structure is self-contained (it copies nothing but region depths
+/// out of the tree it indexes), so it can outlive the tree spans it was
+/// built from — the serving layer's DerivedCache relies on that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_CORE_PSTLCA_H
+#define PST_CORE_PSTLCA_H
+
+#include "pst/core/ProgramStructureTree.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pst {
+
+/// Euler-tour + sparse-table LCA index over one PST.
+class PstLca {
+public:
+  PstLca() = default;
+
+  /// Builds the index for \p T. O(R log R); \p T is only read during
+  /// construction and need not outlive the index.
+  explicit PstLca(const ProgramStructureTree &T);
+
+  bool empty() const { return Euler.empty(); }
+
+  /// Least common ancestor of regions \p A and \p B: the innermost region
+  /// containing both. O(1). Equals the parent-chain walk exactly.
+  RegionId lca(RegionId A, RegionId B) const;
+
+  /// Maximum region depth in the indexed tree (root is depth 0). A
+  /// byproduct of the tour; memoized here so `regions` summaries need not
+  /// rescan the region table.
+  uint32_t maxDepth() const { return MaxDepth; }
+
+  /// Approximate heap footprint in bytes (for cache accounting).
+  size_t bytes() const;
+
+private:
+  /// Tour of region ids: each region appears on entry and again after
+  /// each child returns (length 2R-1).
+  std::vector<RegionId> Euler;
+  /// Depth of Euler[i] in the tree.
+  std::vector<uint32_t> Depth;
+  /// First tour position of each region.
+  std::vector<uint32_t> First;
+  /// floor(log2(len)) for len in [1, tour length].
+  std::vector<uint8_t> Log2;
+  /// Sparse table, level-major: Table[L * Width + i] is the tour index of
+  /// the minimum-depth entry in [i, i + 2^L).
+  std::vector<uint32_t> Table;
+  uint32_t Width = 0;
+  uint32_t MaxDepth = 0;
+};
+
+} // namespace pst
+
+#endif // PST_CORE_PSTLCA_H

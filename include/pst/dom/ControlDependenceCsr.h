@@ -1,0 +1,83 @@
+//===- pst/dom/ControlDependenceCsr.h - cdep as a CSR relation --*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full Ferrante/Ottenstein/Warren control-dependence relation of one
+/// CFG, materialized as a CSR (node -> controlling edges slice).
+///
+/// N is control dependent on edge (C, M) iff N postdominates M and does
+/// not strictly postdominate C. For a fixed edge, that set is exactly the
+/// postdominator-tree ancestors of M up to — exclusive — ipdom(C)
+/// (inclusive of the pdt root when C is the root or unreachable in the
+/// reverse graph; empty when M is unreachable), which is how the two-pass
+/// construction here walks it: one counting pass, one fill pass, no
+/// per-node containers. Edges are visited in ascending id order, so each
+/// node's slice comes out sorted ascending — the same order a direct
+/// all-edges scan (`dominates(N, M) && !(N != C && dominates(N, C))`)
+/// produces, which the serving layer's cached-vs-uncached byte-identity
+/// gate relies on.
+///
+/// Construction is O(size of the relation) after the postdominator tree,
+/// and a per-node query is a slice lookup — the precomputed-relation
+/// treatment of control dependence (cf. Chalupa et al., arXiv 2011.01564)
+/// that turns the server's per-query O(E) scans into slice copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_DOM_CONTROLDEPENDENCECSR_H
+#define PST_DOM_CONTROLDEPENDENCECSR_H
+
+#include "pst/dom/Dominators.h"
+
+#include <span>
+#include <vector>
+
+namespace pst {
+
+/// The control-dependence relation of one CFG as node-indexed CSR edge
+/// slices. Self-contained after construction.
+class ControlDependenceCsr {
+public:
+  ControlDependenceCsr() = default;
+
+  /// Builds the relation for \p G using \p Pdt, which must be
+  /// \c DomTree::buildPostDom of the same graph.
+  ControlDependenceCsr(const Cfg &G, const DomTree &Pdt);
+
+  /// CfgView twin; identical relation to the \c Cfg overload on a view of
+  /// the same graph.
+  ControlDependenceCsr(const CfgView &V, const DomTree &Pdt);
+
+  /// The edges node \p N is control dependent on, ascending by edge id.
+  std::span<const EdgeId> controllingEdges(NodeId N) const {
+    return std::span<const EdgeId>(Edges).subspan(Off[N], Off[N + 1] - Off[N]);
+  }
+
+  uint32_t numNodes() const {
+    return Off.empty() ? 0 : static_cast<uint32_t>(Off.size() - 1);
+  }
+
+  /// Total (node, edge) pairs in the relation.
+  uint64_t relationSize() const { return Edges.size(); }
+
+  /// Approximate heap footprint in bytes (for cache accounting).
+  size_t bytes() const {
+    return Off.capacity() * sizeof(uint32_t) +
+           Edges.capacity() * sizeof(EdgeId);
+  }
+
+private:
+  template <class GraphT> void init(const GraphT &G, const DomTree &Pdt);
+
+  std::vector<uint32_t> Off;
+  std::vector<EdgeId> Edges;
+};
+
+} // namespace pst
+
+#endif // PST_DOM_CONTROLDEPENDENCECSR_H

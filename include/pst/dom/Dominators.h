@@ -98,6 +98,17 @@ public:
 
   uint32_t numNodes() const { return static_cast<uint32_t>(Idom.size()); }
 
+  /// Approximate heap footprint in bytes (for cache accounting).
+  size_t bytes() const {
+    size_t B = Idom.capacity() * sizeof(NodeId) +
+               Kids.capacity() * sizeof(std::vector<NodeId>) +
+               (In.capacity() + Out.capacity() + Depth.capacity()) *
+                   sizeof(uint32_t);
+    for (const std::vector<NodeId> &K : Kids)
+      B += K.capacity() * sizeof(NodeId);
+    return B;
+  }
+
 private:
   void finalize(); // Builds Kids/In/Out/Depth from Idom.
 
@@ -132,6 +143,14 @@ public:
 
   /// Iterated dominance frontier of the node set \p Defs (sorted, deduped).
   std::vector<NodeId> iterated(const std::vector<NodeId> &Defs) const;
+
+  /// Approximate heap footprint in bytes (for cache accounting).
+  size_t bytes() const {
+    size_t B = DF.capacity() * sizeof(std::vector<NodeId>);
+    for (const std::vector<NodeId> &F : DF)
+      B += F.capacity() * sizeof(NodeId);
+    return B;
+  }
 
 private:
   template <class GraphT> void init(const GraphT &G, const DomTree &DT);

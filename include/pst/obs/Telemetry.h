@@ -235,6 +235,14 @@ public:
   }
 };
 
+/// Interns \p Name into a deliberately leaked process-lifetime pool and
+/// returns a stable C string suitable as a telemetry probe name (probe
+/// names must outlive the program — see \c Telemetry::addCounter).
+/// Keyed hash lookup under a mutex, so registering the Nth dynamic name
+/// costs O(1) amortized rather than a scan of all prior names. Equal
+/// content always returns the same pointer; safe from any thread.
+const char *internTelemetryName(std::string Name);
+
 } // namespace pst
 
 //===----------------------------------------------------------------------===//

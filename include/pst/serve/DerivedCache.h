@@ -1,0 +1,170 @@
+//===- pst/serve/DerivedCache.h - Per-epoch derived analyses ----*- C++ -*-===//
+//
+// Part of the PST library: a reproduction of Johnson, Pearson & Pingali,
+// "The Program Structure Tree: Computing Control Regions in Linear Time",
+// PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-epoch derived-analysis cache: lazily materialized bundles of
+/// everything a query needs beyond the frozen CFG/PST pair — dominator
+/// tree, postdominator tree, dominance frontiers, the control-dependence
+/// CSR, and the Euler-tour LCA index over the PST.
+///
+/// One \c DerivedSlot guards one function's bundle with a single atomic
+/// pointer in three states: null (empty), a sentinel (a build is in
+/// flight), or the bundle. First touch CASes null -> sentinel; the winner
+/// builds and publishes with a release store, losers `wait` on the
+/// sentinel — so a bundle is built at most once per slot lifetime, and a
+/// reader only ever waits for *its own* function's build, never another
+/// function's (slots are independent). See DESIGN.md §15 for the
+/// memory-ordering contract.
+///
+/// Lifecycle is the epoch lifecycle, by construction rather than by an
+/// eviction policy: base-image slots live in a \c DerivedCache owned by
+/// the server (the base image never changes, so they are valid forever),
+/// and overlay slots live *inside* \c FunctionSnapshot — a commit that
+/// refreezes a function creates a new snapshot with an empty slot, and
+/// the stale bundle is freed exactly when the EpochTable reclaims the old
+/// snapshot at quiescence. No invalidation walk, no stale reads: a pinned
+/// epoch resolves to the snapshot whose slot it populated.
+///
+/// Responses computed from a bundle are byte-identical to the uncached
+/// per-query path (same algorithms, same orderings); `time_serve` and the
+/// differential tests gate on that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PST_SERVE_DERIVEDCACHE_H
+#define PST_SERVE_DERIVEDCACHE_H
+
+#include "pst/core/PstLca.h"
+#include "pst/dom/ControlDependenceCsr.h"
+#include "pst/dom/Dominators.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace pst {
+namespace serve {
+
+/// Everything the query kinds derive from one frozen function:
+/// dom/postdom trees, dominance frontiers, the cdep CSR, the PST LCA
+/// index, and the memoized region summary. Immutable after construction;
+/// self-contained (no references into the views it was built from).
+struct DerivedBundle {
+  DerivedBundle(const CfgView &V, const ProgramStructureTree &T)
+      : Dom(DomTree::buildIterative(V)), PostDom(DomTree::buildPostDom(V)),
+        Df(V, Dom), Cdep(V, PostDom), Lca(T), MaxDepth(Lca.maxDepth()),
+        NumRegions(T.numRegions()),
+        NumCanonicalRegions(T.numCanonicalRegions()) {
+    Bytes = sizeof(DerivedBundle) + Dom.bytes() + PostDom.bytes() +
+            Df.bytes() + Cdep.bytes() + Lca.bytes();
+  }
+
+  DomTree Dom;
+  DomTree PostDom;
+  DominanceFrontiers Df;
+  ControlDependenceCsr Cdep;
+  PstLca Lca;
+  /// Memoized `regions` summary (satellite: no per-query region-table
+  /// scan).
+  uint32_t MaxDepth;
+  uint32_t NumRegions;
+  uint32_t NumCanonicalRegions;
+  /// Approximate footprint, computed once at build.
+  size_t Bytes = 0;
+};
+
+/// Monotonic cache counters, shared by every slot of one server.
+/// Readable at any time (relaxed); exact once readers quiesce.
+class DerivedCacheCounters {
+public:
+  void recordHit() { Hits.fetch_add(1, std::memory_order_relaxed); }
+  void recordWait() { Waits.fetch_add(1, std::memory_order_relaxed); }
+  void recordBuild(uint64_t Ns, uint64_t BundleBytes) {
+    Builds.fetch_add(1, std::memory_order_relaxed);
+    BuildNs.fetch_add(Ns, std::memory_order_relaxed);
+    BytesBuilt.fetch_add(BundleBytes, std::memory_order_relaxed);
+  }
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t waits() const { return Waits.load(std::memory_order_relaxed); }
+  uint64_t builds() const { return Builds.load(std::memory_order_relaxed); }
+  uint64_t buildNs() const { return BuildNs.load(std::memory_order_relaxed); }
+  uint64_t bytesBuilt() const {
+    return BytesBuilt.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Waits{0};
+  std::atomic<uint64_t> Builds{0};
+  std::atomic<uint64_t> BuildNs{0};
+  std::atomic<uint64_t> BytesBuilt{0};
+};
+
+/// Point-in-time snapshot of a server's cache counters (`--stats`
+/// surface).
+struct DerivedCacheStats {
+  uint64_t Hits = 0;       ///< Queries answered from a ready bundle.
+  uint64_t Waits = 0;      ///< Queries that waited on an in-flight build.
+  uint64_t Builds = 0;     ///< Bundles materialized.
+  uint64_t BuildNs = 0;    ///< Total ns spent building bundles.
+  uint64_t BytesBuilt = 0; ///< Total bytes of bundles materialized.
+};
+
+/// One function's once-init bundle guard. Default-constructed empty;
+/// immovable (the atomic is the synchronization point).
+class DerivedSlot {
+public:
+  DerivedSlot() = default;
+  DerivedSlot(const DerivedSlot &) = delete;
+  DerivedSlot &operator=(const DerivedSlot &) = delete;
+  ~DerivedSlot();
+
+  /// The bundle for (\p V, \p T), building it first-touch. Safe from any
+  /// number of threads; exactly one caller builds, the rest reuse or wait
+  /// (on this slot only). \p V and \p T must describe the same frozen
+  /// function on every call for a given slot — true by construction here,
+  /// since a slot is tied to one immutable snapshot or base-image entry.
+  const DerivedBundle &get(const CfgView &V, const ProgramStructureTree &T,
+                           DerivedCacheCounters &C) const;
+
+  /// Non-blocking peek: the bundle if one is ready, else null.
+  const DerivedBundle *ready() const;
+
+private:
+  static const DerivedBundle *buildingSentinel();
+
+  /// null = empty, sentinel = build in flight, else = published bundle.
+  mutable std::atomic<const DerivedBundle *> Ptr{nullptr};
+};
+
+/// The base-image side of the cache: one slot per corpus function, owned
+/// by the server (base-image views never change, so these live for the
+/// server's lifetime). Overlay slots live in FunctionSnapshot instead —
+/// see the file comment.
+class DerivedCache {
+public:
+  explicit DerivedCache(uint64_t NumFunctions)
+      : Slots(std::make_unique<DerivedSlot[]>(NumFunctions)),
+        NumSlots(NumFunctions) {}
+
+  DerivedSlot &slot(uint64_t Fn) const { return Slots[Fn]; }
+  uint64_t numSlots() const { return NumSlots; }
+
+  /// Bytes currently held by ready base-image bundles (O(slots) scan).
+  size_t bytesReady() const;
+
+private:
+  std::unique_ptr<DerivedSlot[]> Slots;
+  uint64_t NumSlots;
+};
+
+} // namespace serve
+} // namespace pst
+
+#endif // PST_SERVE_DERIVEDCACHE_H

@@ -33,6 +33,7 @@
 #ifndef PST_SERVE_PSTSERVER_H
 #define PST_SERVE_PSTSERVER_H
 
+#include "pst/serve/DerivedCache.h"
 #include "pst/serve/Shard.h"
 #include "pst/support/ThreadPool.h"
 
@@ -84,6 +85,12 @@ struct ServeOptions {
   unsigned NumThreads = 0;
   /// Epoch table capacity per shard (see EpochTable.h on sizing).
   uint32_t EpochCapacity = 64;
+  /// Per-epoch derived-analysis cache (DerivedCache.h): first touch of a
+  /// function builds its dom/postdom/frontier/cdep-CSR/LCA bundle once
+  /// per epoch; later queries reuse it. Responses are byte-identical
+  /// either way (gated by tests and `time_serve`); disable
+  /// (`pstserve --no-derived-cache`) to force per-query recomputation.
+  bool DerivedCache = true;
 };
 
 /// The server engine. Readers (`executeBatch`) and per-shard writers may
@@ -122,6 +129,21 @@ public:
   void executeBatch(std::span<const Request> Batch,
                     std::vector<std::string> &Responses);
 
+  /// Null when the derived cache is disabled; otherwise one slot per
+  /// base-image function (overlay slots live in their snapshots).
+  const DerivedCache *derivedCache() const { return Cache.get(); }
+  /// Aggregated cache counters across base-image and overlay slots.
+  DerivedCacheCounters &cacheCounters() const { return CacheCounters; }
+  DerivedCacheStats derivedCacheStats() const {
+    DerivedCacheStats S;
+    S.Hits = CacheCounters.hits();
+    S.Waits = CacheCounters.waits();
+    S.Builds = CacheCounters.builds();
+    S.BuildNs = CacheCounters.buildNs();
+    S.BytesBuilt = CacheCounters.bytesBuilt();
+    return S;
+  }
+
 private:
   CorpusImage Img;
   ServeOptions Opts;
@@ -130,6 +152,9 @@ private:
   std::vector<QueryScratch> Scratches;
   /// Interned per-shard "serve.shardK.query_ns" probe names.
   std::vector<const char *> ShardQueryProbes;
+  /// Base-image derived-analysis slots (null with Opts.DerivedCache off).
+  std::unique_ptr<DerivedCache> Cache;
+  mutable DerivedCacheCounters CacheCounters;
 };
 
 } // namespace serve

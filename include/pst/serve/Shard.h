@@ -70,6 +70,10 @@ struct ResolvedFunction {
   std::string_view Name;
   /// True when this epoch's overlay (not the base image) supplied it.
   bool FromOverlay = false;
+  /// The overlay snapshot behind the views, or null for base-image
+  /// functions. Carries the snapshot's derived-analysis slot (see
+  /// DerivedCache.h); valid while the pin lives, like the views.
+  const FunctionSnapshot *Snap = nullptr;
 };
 
 struct ShardStats {

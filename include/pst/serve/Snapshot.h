@@ -29,6 +29,7 @@
 #define PST_SERVE_SNAPSHOT_H
 
 #include "pst/image/CorpusImage.h"
+#include "pst/serve/DerivedCache.h"
 
 #include <memory>
 
@@ -55,6 +56,14 @@ public:
   /// currency; see the file comment).
   std::span<const uint8_t> imageBytes() const { return Img.rawBytes(); }
 
+  /// This snapshot's derived-analysis slot (DerivedCache.h). Riding on
+  /// the snapshot ties the bundle's lifetime to the epoch lifecycle: a
+  /// refreeze at commit publishes a *new* snapshot with an empty slot,
+  /// and the stale bundle dies when the EpochTable reclaims this one at
+  /// quiescence. The slot's own synchronization makes this const-safe
+  /// (the snapshot's frozen bytes stay immutable).
+  DerivedSlot &derivedSlot() const { return Derived; }
+
   FunctionSnapshot(const FunctionSnapshot &) = delete;
   FunctionSnapshot &operator=(const FunctionSnapshot &) = delete;
 
@@ -64,6 +73,7 @@ private:
   CorpusImage Img;
   CfgView View;
   ProgramStructureTree Tree;
+  mutable DerivedSlot Derived;
 };
 
 /// Checks that \p S is byte-for-byte the freeze of \p Current: rebuilds

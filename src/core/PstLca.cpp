@@ -1,0 +1,92 @@
+//===- PstLca.cpp - O(1) region LCA over the PST --------------------------===//
+//
+// Part of the PST library (see PstLca.h for the reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pst/core/PstLca.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+using namespace pst;
+
+PstLca::PstLca(const ProgramStructureTree &T) {
+  const uint32_t R = T.numRegions();
+  if (R == 0)
+    return;
+
+  const uint32_t TourLen = 2 * R - 1;
+  Euler.reserve(TourLen);
+  Depth.reserve(TourLen);
+  First.assign(R, UINT32_MAX);
+
+  // Iterative Euler tour from the synthetic root: push each region on
+  // entry and again after each child's subtree returns.
+  std::vector<std::pair<RegionId, uint32_t>> Stack;
+  auto Visit = [&](RegionId Reg) {
+    uint32_t D = T.region(Reg).Depth;
+    if (First[Reg] == UINT32_MAX)
+      First[Reg] = static_cast<uint32_t>(Euler.size());
+    Euler.push_back(Reg);
+    Depth.push_back(D);
+    MaxDepth = std::max(MaxDepth, D);
+  };
+  Stack.emplace_back(T.root(), 0);
+  Visit(T.root());
+  while (!Stack.empty()) {
+    auto &[Reg, ChildIdx] = Stack.back();
+    std::span<const RegionId> Kids = T.children(Reg);
+    if (ChildIdx < Kids.size()) {
+      RegionId C = Kids[ChildIdx++];
+      Visit(C);
+      Stack.emplace_back(C, 0);
+    } else {
+      Stack.pop_back();
+      if (!Stack.empty())
+        Visit(Stack.back().first);
+    }
+  }
+  assert(Euler.size() == TourLen && "malformed PST child structure");
+
+  // floor(log2) lookup for range lengths 1..TourLen.
+  Log2.assign(TourLen + 1, 0);
+  for (uint32_t I = 2; I <= TourLen; ++I)
+    Log2[I] = Log2[I / 2] + 1;
+
+  // Sparse table of argmin tour indices over power-of-two windows.
+  Width = TourLen;
+  const uint32_t Levels = Log2[TourLen] + 1;
+  Table.resize(static_cast<size_t>(Levels) * Width);
+  for (uint32_t I = 0; I < Width; ++I)
+    Table[I] = I;
+  for (uint32_t L = 1; L < Levels; ++L) {
+    uint32_t Half = 1u << (L - 1);
+    uint32_t *Prev = Table.data() + static_cast<size_t>(L - 1) * Width;
+    uint32_t *Cur = Table.data() + static_cast<size_t>(L) * Width;
+    for (uint32_t I = 0; I + (1u << L) <= Width; ++I) {
+      uint32_t A = Prev[I], B = Prev[I + Half];
+      Cur[I] = Depth[A] <= Depth[B] ? A : B;
+    }
+  }
+}
+
+RegionId PstLca::lca(RegionId A, RegionId B) const {
+  assert(!empty() && "querying an empty LCA index");
+  uint32_t I = First[A], J = First[B];
+  if (I > J)
+    std::swap(I, J);
+  uint32_t Len = J - I + 1;
+  uint32_t L = Log2[Len];
+  const uint32_t *Level = Table.data() + static_cast<size_t>(L) * Width;
+  uint32_t X = Level[I], Y = Level[J - (1u << L) + 1];
+  return Euler[Depth[X] <= Depth[Y] ? X : Y];
+}
+
+size_t PstLca::bytes() const {
+  return Euler.capacity() * sizeof(RegionId) +
+         Depth.capacity() * sizeof(uint32_t) +
+         First.capacity() * sizeof(uint32_t) + Log2.capacity() +
+         Table.capacity() * sizeof(uint32_t);
+}

@@ -21,12 +21,23 @@
 #include <chrono>
 #include <mutex>
 #include <sstream>
+#include <unordered_set>
 
 using namespace pst;
 
 std::atomic<bool> pst::obs_detail::TelemetryOn{false};
 std::atomic<bool> pst::obs_detail::TraceOn{false};
 std::atomic<uint64_t> pst::obs_detail::SpanSampleEveryN{0};
+
+const char *pst::internTelemetryName(std::string Name) {
+  // unordered_set is node-based, so element addresses — and the c_str()s
+  // handed out — are stable across rehashes. Leaked: probe names must
+  // outlive every sink that recorded under them.
+  static std::mutex M;
+  static auto *Pool = new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> Lock(M);
+  return Pool->insert(std::move(Name)).first->c_str();
+}
 
 namespace {
 

@@ -4,11 +4,13 @@
 //
 // Query execution: every query pins its shard's current epoch, resolves
 // the function to zero-copy views, computes against those views only,
-// and formats one deterministic response line. Dominator/postdominator
-// trees are built per query (they are per-function and the corpus
-// functions are small; the per-worker scratch amortizes the container
-// churn around them) — a per-epoch dominator cache is a straightforward
-// extension if profiling ever wants it.
+// and formats one deterministic response line. Analysis-backed query
+// kinds go through the per-epoch DerivedCache by default: first touch of
+// a function materializes its dominator/postdominator/frontier/cdep-CSR/
+// LCA bundle once, and every later query is a lookup. With the cache
+// disabled (ServeOptions::DerivedCache = false) each query derives what
+// it needs from the frozen views on the spot; both paths format
+// byte-identical responses, which tests and time_serve gate on.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,32 +22,18 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <mutex>
 
 using namespace pst;
 using namespace pst::serve;
 
 namespace {
 
-/// Leaked interning for dynamic (per-shard) probe names; telemetry keys
-/// must outlive the program.
-const char *internProbe(std::string S) {
-  static std::mutex M;
-  static std::vector<std::string *> *Pool = new std::vector<std::string *>();
-  std::lock_guard<std::mutex> Lock(M);
-  for (const std::string *P : *Pool)
-    if (*P == S)
-      return P->c_str();
-  Pool->push_back(new std::string(std::move(S)));
-  return Pool->back()->c_str();
-}
-
 std::vector<const char *> queryProbes(uint32_t NumShards) {
   std::vector<const char *> Probes;
   Probes.reserve(NumShards);
   for (uint32_t I = 0; I < NumShards; ++I)
     Probes.push_back(
-        internProbe("serve.shard" + std::to_string(I) + ".query_ns"));
+        internTelemetryName("serve.shard" + std::to_string(I) + ".query_ns"));
   return Probes;
 }
 
@@ -70,11 +58,12 @@ RegionId regionLca(const ProgramStructureTree &T, RegionId A, RegionId B) {
   return A;
 }
 
-void runRegion(const ResolvedFunction &F, const Request &R,
-               QueryScratch &Sc) {
+void runRegion(const ResolvedFunction &F, const Request &R, QueryScratch &Sc,
+               const DerivedBundle *B) {
   const ProgramStructureTree &T = F.Pst;
-  RegionId L =
-      regionLca(T, T.regionOfNode(R.A), T.regionOfNode(R.B));
+  RegionId RA = T.regionOfNode(R.A), RB = T.regionOfNode(R.B);
+  // The O(1) Euler-tour index answers exactly what the walk answers.
+  RegionId L = B ? B->Lca.lca(RA, RB) : regionLca(T, RA, RB);
   const SeseRegion &Reg = T.region(L);
   Sc.Out += "ok region fn=" + std::to_string(R.Fn) +
             " a=" + std::to_string(R.A) + " b=" + std::to_string(R.B) +
@@ -91,28 +80,46 @@ void runRegion(const ResolvedFunction &F, const Request &R,
     Sc.Out += std::to_string(Reg.ExitEdge);
 }
 
-void runRegions(const ResolvedFunction &F, const Request &R,
-                QueryScratch &Sc) {
+void runRegions(const ResolvedFunction &F, const Request &R, QueryScratch &Sc,
+                const DerivedBundle *B) {
   const ProgramStructureTree &T = F.Pst;
+  // Max depth (and the counts) are properties of the snapshot, not the
+  // query; the bundle memoizes them instead of rescanning the region
+  // table per request.
   uint32_t MaxDepth = 0;
-  for (RegionId I = 0; I < T.numRegions(); ++I)
-    MaxDepth = std::max(MaxDepth, T.region(I).Depth);
+  if (B) {
+    MaxDepth = B->MaxDepth;
+  } else {
+    for (RegionId I = 0; I < T.numRegions(); ++I)
+      MaxDepth = std::max(MaxDepth, T.region(I).Depth);
+  }
+  uint32_t Count = B ? B->NumRegions : T.numRegions();
+  uint32_t Canonical = B ? B->NumCanonicalRegions : T.numCanonicalRegions();
   Sc.Out += "ok regions fn=" + std::to_string(R.Fn) +
-            " count=" + std::to_string(T.numRegions()) +
-            " canonical=" + std::to_string(T.numCanonicalRegions()) +
+            " count=" + std::to_string(Count) +
+            " canonical=" + std::to_string(Canonical) +
             " maxdepth=" + std::to_string(MaxDepth);
 }
 
-void runCdep(const ResolvedFunction &F, const Request &R, QueryScratch &Sc) {
+void runCdep(const ResolvedFunction &F, const Request &R, QueryScratch &Sc,
+             const DerivedBundle *B) {
   // Classic control dependence via postdominators (Ferrante/Ottenstein/
   // Warren): node N is control dependent on edge (C, M) iff N
-  // postdominates M and does not strictly postdominate C.
-  DomTree Pdt = DomTree::buildPostDom(F.View);
+  // postdominates M and does not strictly postdominate C. The bundle's
+  // CSR holds the whole relation with each slice ascending by edge id —
+  // the same set, in the same order, as this scan (ControlDependenceCsr.h
+  // spells out the equivalence).
   Sc.Edges.clear();
-  for (EdgeId E = 0; E < F.View.numEdges(); ++E) {
-    NodeId C = F.View.source(E), M = F.View.target(E);
-    if (Pdt.dominates(R.A, M) && !(R.A != C && Pdt.dominates(R.A, C)))
-      Sc.Edges.push_back(E);
+  if (B) {
+    std::span<const EdgeId> Slice = B->Cdep.controllingEdges(R.A);
+    Sc.Edges.assign(Slice.begin(), Slice.end());
+  } else {
+    DomTree Pdt = DomTree::buildPostDom(F.View);
+    for (EdgeId E = 0; E < F.View.numEdges(); ++E) {
+      NodeId C = F.View.source(E), M = F.View.target(E);
+      if (Pdt.dominates(R.A, M) && !(R.A != C && Pdt.dominates(R.A, C)))
+        Sc.Edges.push_back(E);
+    }
   }
   Sc.Out += "ok cdep fn=" + std::to_string(R.Fn) +
             " node=" + std::to_string(R.A) + " edges=[";
@@ -126,18 +133,31 @@ void runCdep(const ResolvedFunction &F, const Request &R, QueryScratch &Sc) {
   Sc.Out += ']';
 }
 
-void runDom(const ResolvedFunction &F, const Request &R, QueryScratch &Sc) {
-  DomTree Dt = DomTree::buildIterative(F.View);
+void runDom(const ResolvedFunction &F, const Request &R, QueryScratch &Sc,
+            const DerivedBundle *B) {
+  NodeId Idom;
+  if (B) {
+    Idom = B->Dom.idom(R.A);
+  } else {
+    DomTree Dt = DomTree::buildIterative(F.View);
+    Idom = Dt.idom(R.A);
+  }
   Sc.Out += "ok dom fn=" + std::to_string(R.Fn) +
             " node=" + std::to_string(R.A) + " idom=";
-  appendNode(Sc.Out, Dt.idom(R.A));
+  appendNode(Sc.Out, Idom);
 }
 
-void runPhi(const ResolvedFunction &F, const Request &R, QueryScratch &Sc) {
-  DomTree Dt = DomTree::buildIterative(F.View);
-  DominanceFrontiers Df(F.View, Dt);
+void runPhi(const ResolvedFunction &F, const Request &R, QueryScratch &Sc,
+            const DerivedBundle *B) {
   Sc.Defs.assign(R.Defs.begin(), R.Defs.end());
-  std::vector<NodeId> Blocks = Df.iterated(Sc.Defs);
+  std::vector<NodeId> Blocks;
+  if (B) {
+    Blocks = B->Df.iterated(Sc.Defs);
+  } else {
+    DomTree Dt = DomTree::buildIterative(F.View);
+    DominanceFrontiers Df(F.View, Dt);
+    Blocks = Df.iterated(Sc.Defs);
+  }
   std::sort(Blocks.begin(), Blocks.end());
   Sc.Out += "ok phi fn=" + std::to_string(R.Fn) + " defs=[";
   for (size_t I = 0; I < R.Defs.size(); ++I) {
@@ -168,6 +188,8 @@ PstServer::PstServer(CorpusImage Image, ServeOptions Options)
         std::make_unique<Shard>(Img, I, Opts.NumShards, Opts.EpochCapacity));
   Scratches.resize(Pool.numWorkers());
   ShardQueryProbes = queryProbes(Opts.NumShards);
+  if (Opts.DerivedCache)
+    Cache = std::make_unique<class DerivedCache>(Img.numFunctions());
 }
 
 std::unique_ptr<PstServer> PstServer::open(const std::string &Path,
@@ -202,30 +224,43 @@ std::string runQuery(const PstServer &S, const Request &R, QueryScratch &Sc,
   // Node-argument validation against the *resolved* graph (edits may
   // have grown it past the base image's node count).
   auto NodeOk = [&](NodeId N) { return N < F.View.numNodes(); };
+
+  // Analysis-backed kinds share the function's derived bundle: overlay
+  // functions carry their slot in the snapshot (so it retires with the
+  // epoch), base-image functions use the server-lifetime cache. Name
+  // lookups and error paths never touch (or build) a bundle.
+  auto Bundle = [&]() -> const DerivedBundle * {
+    if (!S.derivedCache())
+      return nullptr;
+    const DerivedSlot &Slot =
+        F.Snap ? F.Snap->derivedSlot() : S.derivedCache()->slot(R.Fn);
+    return &Slot.get(F.View, F.Pst, S.cacheCounters());
+  };
+
   switch (R.Kind) {
   case RequestKind::Region:
     if (!NodeOk(R.A) || !NodeOk(R.B)) {
       Sc.Out = "err node out of range";
       return Sc.Out;
     }
-    runRegion(F, R, Sc);
+    runRegion(F, R, Sc, Bundle());
     break;
   case RequestKind::Regions:
-    runRegions(F, R, Sc);
+    runRegions(F, R, Sc, Bundle());
     break;
   case RequestKind::Cdep:
     if (!NodeOk(R.A)) {
       Sc.Out = "err node out of range";
       return Sc.Out;
     }
-    runCdep(F, R, Sc);
+    runCdep(F, R, Sc, Bundle());
     break;
   case RequestKind::Dom:
     if (!NodeOk(R.A)) {
       Sc.Out = "err node out of range";
       return Sc.Out;
     }
-    runDom(F, R, Sc);
+    runDom(F, R, Sc, Bundle());
     break;
   case RequestKind::Phi:
     for (NodeId D : R.Defs)
@@ -233,7 +268,7 @@ std::string runQuery(const PstServer &S, const Request &R, QueryScratch &Sc,
         Sc.Out = "err node out of range";
         return Sc.Out;
       }
-    runPhi(F, R, Sc);
+    runPhi(F, R, Sc, Bundle());
     break;
   case RequestKind::Name:
     Sc.Out = "ok name fn=" + std::to_string(R.Fn) + " " + std::string(F.Name);

@@ -17,24 +17,6 @@
 using namespace pst;
 using namespace pst::serve;
 
-namespace {
-
-/// Telemetry probe names must outlive the program (the registry keys by
-/// pointer-or-content on literals); per-shard names are dynamic, so
-/// intern them into a deliberately leaked pool, once per shard.
-const char *internProbe(std::string S) {
-  static std::mutex M;
-  static std::vector<std::string *> *Pool = new std::vector<std::string *>();
-  std::lock_guard<std::mutex> Lock(M);
-  for (const std::string *P : *Pool)
-    if (*P == S)
-      return P->c_str();
-  Pool->push_back(new std::string(std::move(S)));
-  return Pool->back()->c_str();
-}
-
-} // namespace
-
 const FunctionSnapshot *ShardEpoch::find(uint64_t Fn) const {
   auto It = std::lower_bound(
       Overlay.begin(), Overlay.end(), Fn,
@@ -47,10 +29,10 @@ const FunctionSnapshot *ShardEpoch::find(uint64_t Fn) const {
 Shard::Shard(const CorpusImage &Base, uint32_t Index, uint32_t NumShards,
              uint32_t EpochCapacity)
     : Base(Base), Index(Index), NumShards(NumShards), Epochs(EpochCapacity),
-      ProbeCommitNs(
-          internProbe("serve.shard" + std::to_string(Index) + ".commit_ns")),
-      ProbeRefrozen(
-          internProbe("serve.shard" + std::to_string(Index) + ".refrozen")) {
+      ProbeCommitNs(internTelemetryName("serve.shard" + std::to_string(Index) +
+                                        ".commit_ns")),
+      ProbeRefrozen(internTelemetryName("serve.shard" + std::to_string(Index) +
+                                        ".refrozen")) {
   assert(NumShards > 0 && Index < NumShards && "bad shard routing");
   // Epoch 0: the pristine base image. Published before any reader can
   // exist, so pin() never spins on an empty table.
@@ -68,6 +50,7 @@ ResolvedFunction Shard::resolve(const ShardEpoch &E, uint64_t Fn) const {
     Out.Pst = S->pst();
     Out.Name = S->name();
     Out.FromOverlay = true;
+    Out.Snap = S;
   } else {
     Out.View = Base.cfg(Fn);
     Out.Pst = Base.pst(Fn);
